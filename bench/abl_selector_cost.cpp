@@ -1,0 +1,77 @@
+// Ablation: page-selector scoring granularity (flat vs hierarchical) and
+// reuse interval — measured CPU cost per selection.
+//
+// Hierarchical scoring reads g = NP/NL representatives per physical page
+// (4x the flat cost at NP=64/NL=16); reusable selection divides the whole
+// thing by C. This bench quantifies that overhead directly and shows the
+// combined configuration (hierarchical + reuse 4) costs about the same as
+// flat scoring every step — accuracy of Fig 13 at the price of Quest.
+#include <cstdio>
+
+#include "common.hpp"
+#include "eval/metrics.hpp"
+#include "sparse/hierarchical_selector.hpp"
+#include "sparse/quest_selector.hpp"
+#include "sparse/reusable_selector.hpp"
+
+using namespace lserve;
+
+int main() {
+  const std::size_t n = 65536, d = 64;
+  kv::PageConfig pages;
+  pages.page_size = 64;
+  pages.logical_page_size = 16;
+  pages.head_dim = d;
+  kv::PageAllocator alloc(pages, n / 64 + 2);
+  kv::HeadCache head;
+  model::StreamConfig sc;
+  sc.n_tokens = n;
+  sc.head_dim = d;
+  model::TokenStream stream = model::smooth_stream(sc);
+  eval::fill_head_cache(alloc, head, stream);
+  std::vector<float> q(d, 0.4f);
+  sparse::PageSelectorConfig cfg;
+  cfg.token_budget = 4096;
+
+  const double flat_us = bench::time_us([&] {
+    auto t = sparse::select_pages_flat(alloc, head, q.data(), cfg);
+    (void)t;
+  });
+  const double hier_us = bench::time_us([&] {
+    auto t = sparse::select_pages_hierarchical(alloc, head, q.data(), cfg);
+    (void)t;
+  });
+
+  bench::section("Ablation: selector cost per decode step (CPU, 64K ctx)");
+  bench::row("Policy", {"us/step", "reps scored"});
+  bench::row("Flat (Quest)",
+             {bench::fmt(flat_us, 1),
+              std::to_string(sparse::flat_selector_scored_pages(alloc, head))});
+  bench::row("Hierarchical",
+             {bench::fmt(hier_us, 1),
+              std::to_string(
+                  sparse::hierarchical_selector_scored_pages(alloc, head))});
+  for (std::size_t c : {2u, 4u, 8u}) {
+    // Amortized via the real ReusableSelector over a simulated generation.
+    sparse::ReusableSelector reuse(1, c);
+    const std::size_t steps = 32;
+    const double total_us = bench::time_us([&] {
+      reuse.reset();
+      for (std::size_t t = 0; t < steps; ++t) {
+        reuse.get(0, t, [&] {
+          return sparse::select_pages_hierarchical(alloc, head, q.data(),
+                                                   cfg);
+        });
+      }
+    });
+    bench::row("Hierarchical reuse=" + std::to_string(c),
+               {bench::fmt(total_us / steps, 1), "amortized"});
+  }
+  std::printf(
+      "\nFinding: hierarchical scoring costs ~g=4x flat per invocation,\n"
+      "and reuse interval C divides it back by C — hierarchical+reuse-4\n"
+      "costs about the same per step as flat-every-step, which is exactly\n"
+      "the trade LServe ships (accuracy of 16-token granularity at large-\n"
+      "page bandwidth).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: fraction of attention heads converted to streaming heads.
+//
+// The paper fixes 50%; this sweep shows the efficiency/accuracy frontier:
+// decode and prefill get monotonically cheaper with more streaming heads,
+// while the calibration gates of a mixed head population tell us how many
+// heads can stream before retrieval-dependent heads get converted.
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+#include "serve/engine.hpp"
+
+using namespace lserve;
+
+int main() {
+  const cost::GpuSpec spec = cost::a100();
+  const model::ModelConfig m = model::llama3_8b();
+
+  bench::section(
+      "Ablation: streaming-head fraction vs modeled latency (Llama-3-8B, "
+      "A100, 128K)");
+  bench::row("Fraction", {"decode ms", "prefill s", "KV GB"});
+  for (double frac : {0.0, 0.25, 0.5, 0.75}) {
+    cost::ServingPolicy p = cost::lserve_policy();
+    p.streaming_fraction = frac;
+    const double decode_ms =
+        cost::decode_step_cost(spec, m, p, 131072, 1).total_us() / 1e3;
+    const double prefill_s =
+        cost::prefill_cost(spec, m, p, 131072, 1).total_us() / 1e6;
+    const double kv_gb = bench::kv_bytes(m, p, 131072, 1) / 1e9;
+    bench::row(bench::fmt(frac, 2),
+               {bench::fmt(decode_ms, 2), bench::fmt(prefill_s, 1),
+                bench::fmt(kv_gb, 2)});
+  }
+
+  // Accuracy side: calibrate a mixed head population (half planted as
+  // retrieval-dependent) and report how many retrieval heads would be
+  // mis-converted at each target fraction.
+  bench::section(
+      "Ablation: mis-converted retrieval heads vs target fraction "
+      "(calibrated gates, tiny geometry)");
+  serve::EngineConfig cfg;
+  cfg.model = model::small();
+  cfg.streaming = {32, 96};
+  cfg.dense_pages.page_size = 16;
+  cfg.dense_pages.logical_page_size = 16;
+  serve::Engine engine(cfg);
+  const std::vector<float> gates = engine.calibrate_head_kinds();
+  bench::row("Fraction", {"streaming", "mis-converted"});
+  for (double frac : {0.25, 0.5, 0.75}) {
+    const auto kinds = sparse::classify_by_quantile(gates, frac);
+    std::size_t streaming = 0, mistakes = 0;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == kv::HeadKind::kStreaming) {
+        ++streaming;
+        // Even indices are the planted retrieval-dependent heads.
+        if (i % 2 == 0) ++mistakes;
+      }
+    }
+    bench::row(bench::fmt(frac, 2),
+               {std::to_string(streaming), std::to_string(mistakes)});
+  }
+  std::printf(
+      "\nFinding: latency falls monotonically with the streaming fraction,\n"
+      "but pushing past the true retrieval/streaming split (50%% in the\n"
+      "calibration population) starts converting retrieval heads — the\n"
+      "accuracy cliff the paper avoids by stopping at 50%%.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 10: end-to-end decoding speed across systems, models and GPUs.
+//
+// Paper: relative decode throughput normalized to LServe on four panels
+// (A100 x {Llama-3-8B, Llama-2-7B, Minitron-4B}, L40S x Llama-3-8B);
+// LServe averages 1.5x over vLLM on GQA models and >2x on MHA Llama-2-7B;
+// fp16 baselines OOM at the longest contexts. Regenerated with the
+// roofline cost model + KV-memory accounting.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+
+using namespace lserve;
+
+namespace {
+
+void panel(const cost::GpuSpec& spec, double gpu_mem_gb,
+           const model::ModelConfig& m,
+           const std::vector<std::size_t>& lengths) {
+  bench::section("Fig 10 panel: " + spec.name + " / " + m.name +
+                 " (throughput relative to LServe; higher is better)");
+  {
+    std::vector<std::string> header;
+    for (auto n : lengths) header.push_back(bench::klen(n));
+    header.push_back("Geomean");
+    bench::row("System", header);
+  }
+  const cost::ServingPolicy lserve = cost::lserve_policy();
+  for (const auto& sys : bench::decode_lineup()) {
+    std::vector<std::string> cells;
+    double log_sum = 0.0;
+    int count = 0;
+    for (std::size_t n : lengths) {
+      if (bench::kv_bytes(m, sys.policy, n, 1) > gpu_mem_gb * 1e9 * 0.7) {
+        cells.push_back("OOM");
+        continue;
+      }
+      const double t_sys =
+          cost::decode_step_cost(spec, m, sys.policy, n, 1).total_us() +
+          bench::kHostOverheadUs;
+      const double t_ls =
+          cost::decode_step_cost(spec, m, lserve, n, 1).total_us() +
+          bench::kHostOverheadUs;
+      const double rel = t_ls / t_sys;  // throughput relative to LServe
+      cells.push_back(bench::fmt(rel, 2));
+      log_sum += std::log(rel);
+      ++count;
+    }
+    cells.push_back(count > 0 ? bench::fmt(std::exp(log_sum / count), 2)
+                              : "-");
+    bench::row(sys.name, cells);
+  }
+}
+
+}  // namespace
+
+int main() {
+  panel(cost::a100(), 80.0, model::llama3_8b(),
+        {65536, 98304, 131072, 163840, 196608, 229376, 262144, 327680});
+  panel(cost::a100(), 80.0, model::llama2_7b(),
+        {16384, 32768, 65536, 98304, 131072, 163840, 196608, 229376});
+  panel(cost::a100(), 80.0, model::minitron_4b(),
+        {65536, 98304, 131072, 163840, 196608, 229376, 262144, 524288});
+  panel(cost::l40s(), 48.0, model::llama3_8b(),
+        {32768, 65536, 98304, 131072, 163840, 196608, 229376, 262144});
+  std::printf(
+      "\nShape check: LServe = 1.00 everywhere; vLLM geomean ~0.5-0.8 (i.e.\n"
+      "LServe 1.3-2.1x faster), gap widening with context; MHA Llama-2-7B\n"
+      "shows the largest gap; fp16 baselines hit OOM at long context on "
+      "L40S\nand on Llama-2-7B (paper Fig 10).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 11: end-to-end prefilling speed across serving frameworks.
+//
+// Paper: prefill throughput normalized to LServe on Llama-3-8B and
+// Llama-2-7B (A100). LServe averages 1.8x over vLLM on Llama-2-7B and is
+// ahead of MInference/DuoAttention; MInference-style dynamic prefill
+// sparsity is additionally activated inside LServe beyond 128K.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+
+using namespace lserve;
+
+namespace {
+
+double prefill_us(const cost::GpuSpec& spec, const model::ModelConfig& m,
+                  cost::ServingPolicy p, std::size_t n) {
+  // LServe activates MInference-style prefill sparsity beyond 128K (§4.3).
+  if (p.streaming_fraction > 0.0 && p.dynamic_decode && n >= 131072) {
+    p.dynamic_prefill = true;
+    p.prefill_kept_fraction = 0.5;
+  }
+  return cost::prefill_cost(spec, m, p, n, 1).total_us();
+}
+
+void panel(const model::ModelConfig& m,
+           const std::vector<std::size_t>& lengths, double gpu_mem_gb) {
+  const cost::GpuSpec spec = cost::a100();
+  bench::section("Fig 11 panel: A100 / " + m.name +
+                 " (prefill throughput relative to LServe)");
+  {
+    std::vector<std::string> header;
+    for (auto n : lengths) header.push_back(bench::klen(n));
+    header.push_back("Geomean");
+    bench::row("System", header);
+  }
+  const std::vector<bench::System> systems{
+      {"QServe", cost::qserve_policy()},
+      {"vLLM", cost::vllm_policy()},
+      {"DuoAttention", cost::duo_attention_policy()},
+      {"MInference", cost::minference_policy()},
+      {"LServe", cost::lserve_policy()}};
+  for (const auto& sys : systems) {
+    std::vector<std::string> cells;
+    double log_sum = 0.0;
+    int count = 0;
+    for (std::size_t n : lengths) {
+      if (bench::kv_bytes(m, sys.policy, n, 1) > gpu_mem_gb * 1e9 * 0.7) {
+        cells.push_back("OOM");
+        continue;
+      }
+      const double rel = prefill_us(spec, m, cost::lserve_policy(), n) /
+                         prefill_us(spec, m, sys.policy, n);
+      cells.push_back(bench::fmt(rel, 2));
+      log_sum += std::log(rel);
+      ++count;
+    }
+    cells.push_back(count > 0 ? bench::fmt(std::exp(log_sum / count), 2)
+                              : "-");
+    bench::row(sys.name, cells);
+  }
+}
+
+}  // namespace
+
+int main() {
+  panel(model::llama3_8b(), {65536, 98304, 131072, 196608, 262144, 327680},
+        80.0);
+  panel(model::llama2_7b(), {16384, 32768, 65536, 98304, 131072, 163840},
+        80.0);
+  std::printf(
+      "\nShape check: LServe fastest overall (paper: up to 2.9x over vLLM "
+      "at long\ncontext, ~1.8x average on Llama-2-7B); DuoAttention closest "
+      "competitor;\nvLLM/QServe fall behind as attention dominates.\n");
+  return 0;
+}

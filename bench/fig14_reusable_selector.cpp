@@ -1,0 +1,78 @@
+// Figure 14: page-selection overhead and the reusable page selector.
+//
+// Paper: with a 4K budget the sparse attention kernel is constant-time but
+// the selector grows linearly with context; at 128K the vanilla selector
+// (0.24 ms) is 2x the attention kernel (0.12 ms). Reusing the selection
+// across 4 queries cuts the overhead 4x. Regenerated with the cost model
+// (GPU scale) plus a measured CPU cross-check of selector linearity.
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+#include "eval/metrics.hpp"
+#include "sparse/hierarchical_selector.hpp"
+
+using namespace lserve;
+
+int main() {
+  const cost::GpuSpec spec = cost::a100();
+  const model::ModelConfig m = model::llama3_8b();
+  const std::vector<std::size_t> lengths{8192,  16384, 32768,
+                                         65536, 131072, 262144};
+
+  for (const auto& [title, reuse] :
+       std::vector<std::pair<std::string, std::size_t>>{
+           {"Fig 14(a): vanilla page selector (reuse=1)", 1},
+           {"Fig 14(b): reusable page selector (reuse=4)", 4}}) {
+    cost::ServingPolicy p = cost::lserve_policy();
+    p.reuse_interval = reuse;
+    bench::section(title + " — per-step latency (ms), Llama-3-8B, A100");
+    bench::row("Context", {"Selector", "SparseAttn", "Sel/Attn"});
+    for (std::size_t n : lengths) {
+      const cost::StageBreakdown b = cost::decode_step_cost(spec, m, p, n, 1);
+      bench::row(bench::klen(n),
+                 {bench::fmt(b.selector_us / 1e3, 3),
+                  bench::fmt(b.attention_us / 1e3, 3),
+                  b.attention_us > 0
+                      ? bench::fmt(b.selector_us / b.attention_us, 2)
+                      : "-"});
+    }
+  }
+
+  // Measured CPU cross-check: hierarchical scoring cost is linear in the
+  // number of logical pages (the same law the GPU model charges).
+  bench::section(
+      "Measured (CPU): hierarchical selector scoring time vs context");
+  bench::row("Context", {"us/selection", "logical pages"});
+  kv::PageConfig pages;
+  pages.page_size = 64;
+  pages.logical_page_size = 16;
+  pages.head_dim = 64;
+  for (std::size_t n : {8192u, 16384u, 32768u, 65536u}) {
+    kv::PageAllocator alloc(pages, n / 64 + 2);
+    kv::HeadCache head;
+    model::StreamConfig sc;
+    sc.n_tokens = n;
+    sc.head_dim = 64;
+    model::TokenStream stream = model::smooth_stream(sc);
+    eval::fill_head_cache(alloc, head, stream);
+    std::vector<float> q(64, 0.5f);
+    sparse::PageSelectorConfig cfg;
+    cfg.token_budget = 1024;
+    const double us = bench::time_us([&] {
+      auto table = sparse::select_pages_hierarchical(alloc, head, q.data(),
+                                                     cfg);
+      (void)table;
+    });
+    bench::row(bench::klen(n),
+               {bench::fmt(us, 1),
+                std::to_string(
+                    sparse::hierarchical_selector_scored_pages(alloc, head))});
+  }
+  std::printf(
+      "\nShape check: vanilla selector latency linear in context and\n"
+      "overtaking sparse attention around 64-128K (paper: 0.24 ms vs 0.12 "
+      "ms\nat 128K); reuse=4 divides selector time by 4; measured CPU "
+      "selector\nscales linearly with scored logical pages.\n");
+  return 0;
+}

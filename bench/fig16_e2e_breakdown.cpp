@@ -1,0 +1,90 @@
+// Figure 16: end-to-end decode speedup breakdown (Llama-3-8B, bs=1, A100).
+//
+// Paper: normalized throughput of dense / +50% streaming heads / +dynamic
+// sparsity / LServe. Static sparsity helps most at short contexts (up to
+// 1.7x); dynamic sparsity dominates at long contexts (up to 4.5x e2e,
+// 7.7x at 256K when combined); naive dynamic sparsity *loses* at 4-8K
+// (selector overhead: 0.94/0.89 relative) while LServe avoids the
+// regression by skipping selection when the budget covers the context.
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+
+using namespace lserve;
+
+namespace {
+
+cost::ServingPolicy dense_policy() {
+  cost::ServingPolicy p = cost::vllm_policy();
+  p.weight_bits = 16;
+  return p;
+}
+
+cost::ServingPolicy streaming_policy() {
+  cost::ServingPolicy p = dense_policy();
+  p.streaming_fraction = 0.5;
+  return p;
+}
+
+cost::ServingPolicy dynamic_policy() {
+  cost::ServingPolicy p = dense_policy();
+  p.dynamic_decode = true;
+  p.token_budget = 4096;
+  p.logical_page_size = 16;
+  p.reuse_interval = 4;
+  // Naive dynamic sparsity runs the selector even when it selects
+  // everything — the source of the short-context regression in Fig 16.
+  p.skip_selector_when_covered = false;
+  return p;
+}
+
+cost::ServingPolicy lserve_breakdown_policy() {
+  cost::ServingPolicy p = dynamic_policy();
+  p.streaming_fraction = 0.5;
+  p.skip_selector_when_covered = true;  // offline-profiled sparse patterns
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const cost::GpuSpec spec = cost::a100();
+  const model::ModelConfig m = model::llama3_8b();
+  const std::vector<std::size_t> lengths{4096,  8192,   16384, 32768,
+                                         65536, 131072, 262144};
+
+  bench::section(
+      "Fig 16: normalized decode throughput (dense = 1.00), Llama-3-8B, "
+      "A100, bs=1");
+  {
+    std::vector<std::string> header;
+    for (auto n : lengths) header.push_back(bench::klen(n));
+    bench::row("Variant", header);
+  }
+  std::vector<double> dense_us;
+  for (std::size_t n : lengths) {
+    dense_us.push_back(
+        cost::decode_step_cost(spec, m, dense_policy(), n, 1).total_us());
+  }
+  for (const auto& [name, policy] :
+       std::vector<std::pair<std::string, cost::ServingPolicy>>{
+           {"Dense Attention", dense_policy()},
+           {"+50% Streaming Heads", streaming_policy()},
+           {"+Dynamic (4K budget)", dynamic_policy()},
+           {"LServe", lserve_breakdown_policy()}}) {
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+      const double us =
+          cost::decode_step_cost(spec, m, policy, lengths[i], 1).total_us();
+      cells.push_back(bench::fmt(dense_us[i] / us, 2));
+    }
+    bench::row(name, cells);
+  }
+  std::printf(
+      "\nShape check: streaming heads help modestly everywhere; naive\n"
+      "dynamic sparsity dips below 1.0 at 4-8K (paper: 0.94/0.89) and wins\n"
+      "big at 256K; LServe compounds both without the short-context\n"
+      "regression (paper: up to 7.7x total at 256K).\n");
+  return 0;
+}

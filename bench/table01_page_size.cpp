@@ -1,0 +1,55 @@
+// Table 1: page size vs decoding latency under quantized KV (QServe-like).
+//
+// Paper: Llama-3-8B, batch 32, A100; per-step decode latency for page sizes
+// 16/32/64/128, sequence lengths 512..8192. Max slowdown of page 16 vs 128
+// is 1.52x; page 64 is within 1%. Small quantized pages waste DRAM bursts.
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+
+using namespace lserve;
+
+int main() {
+  const cost::GpuSpec spec = cost::a100();
+  const model::ModelConfig m = model::llama3_8b();
+  const std::vector<std::size_t> pages{16, 32, 64, 128};
+  const std::vector<std::size_t> seqs{512, 1024, 2048, 4096, 8192};
+
+  bench::section(
+      "Table 1: per-step decode latency (ms) vs page size (QServe-like, "
+      "Llama-3-8B, A100, bs=32, KV4)");
+  {
+    std::vector<std::string> header;
+    for (auto p : pages) header.push_back("page " + std::to_string(p));
+    bench::row("Seq len", header);
+  }
+
+  std::vector<double> max_slowdown(pages.size(), 0.0);
+  for (std::size_t seq : seqs) {
+    std::vector<double> ms;
+    for (std::size_t page : pages) {
+      cost::ServingPolicy p = cost::qserve_policy();
+      p.page_size = page;
+      p.logical_page_size = page;
+      ms.push_back(
+          cost::decode_step_cost(spec, m, p, seq, 32).total_us() / 1e3);
+    }
+    std::vector<std::string> cells;
+    for (double v : ms) cells.push_back(bench::fmt(v, 1) + " ms");
+    bench::row(std::to_string(seq), cells);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      max_slowdown[i] = std::max(max_slowdown[i], ms[i] / ms.back());
+    }
+  }
+  {
+    std::vector<std::string> cells;
+    for (double v : max_slowdown) cells.push_back(bench::fmt(v, 2) + "x");
+    bench::row("Max Slowdown", cells);
+  }
+  std::printf(
+      "\nShape check: slowdown of small pages grows with sequence length;\n"
+      "page 16 max ~1.5x, page 64 within a few %% of page 128 (paper: 1.52x "
+      "/ 1.01x).\n");
+  return 0;
+}

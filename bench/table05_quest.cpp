@@ -1,0 +1,76 @@
+// Table 5: end-to-end comparison with Quest (Llama-2-7B, MHA).
+//
+// Paper: LServe beats Quest in prefill (1.6-2.1x) and decode (1.3-1.5x)
+// at 4K-64K; Quest OOMs at 64K (fp16 KV for the full cache plus metadata).
+// Quest's costs come from its policy: fp16 KV on 16-token pages (paying the
+// Table-1 bandwidth penalty), per-step page selection (no reuse), dense
+// prefill.
+#include <cstdio>
+
+#include "common.hpp"
+#include "costmodel/gpu_spec.hpp"
+
+using namespace lserve;
+
+int main() {
+  const cost::GpuSpec spec = cost::a100();
+  const model::ModelConfig m = model::llama2_7b();
+  const std::vector<std::size_t> lengths{4096, 8192, 16384, 32768, 65536};
+  const cost::ServingPolicy quest = cost::quest_policy();
+  const cost::ServingPolicy lserve = cost::lserve_policy();
+  // Quest on A100-40GB as in the Quest paper's typical setup; the paper's
+  // OOM at 64K reflects fp16 KV plus fragmentation. Model it with a 40GB
+  // budget at 70% usable.
+  const double quest_mem_budget = 40.0 * 1e9 * 0.7;
+
+  bench::section("Table 5: prefill latency (s), Quest vs LServe (Llama-2-7B)");
+  {
+    std::vector<std::string> header;
+    for (auto n : lengths) header.push_back(bench::klen(n));
+    bench::row("System", header);
+  }
+  std::vector<std::string> quest_cells, lserve_cells, speedup_cells;
+  for (std::size_t n : lengths) {
+    const bool oom = bench::kv_bytes(m, quest, n, 1) > quest_mem_budget;
+    const double tq = cost::prefill_cost(spec, m, quest, n, 1).total_us();
+    const double tl = cost::prefill_cost(spec, m, lserve, n, 1).total_us();
+    quest_cells.push_back(oom ? "OOM" : bench::fmt(tq / 1e6, 2));
+    lserve_cells.push_back(bench::fmt(tl / 1e6, 2));
+    speedup_cells.push_back(oom ? "/" : bench::fmt(tq / tl, 1) + "x");
+  }
+  bench::row("Quest", quest_cells);
+  bench::row("LServe", lserve_cells);
+  bench::row("Speedup", speedup_cells);
+
+  bench::section("Table 5: decode latency (ms/step), Quest vs LServe");
+  quest_cells.clear();
+  lserve_cells.clear();
+  speedup_cells.clear();
+  for (std::size_t n : lengths) {
+    const bool oom = bench::kv_bytes(m, quest, n, 1) > quest_mem_budget;
+    const double tq =
+        cost::decode_step_cost(spec, m, quest, n, 1).total_us() +
+        bench::kHostOverheadUs;
+    const double tl =
+        cost::decode_step_cost(spec, m, lserve, n, 1).total_us() +
+        bench::kHostOverheadUs;
+    quest_cells.push_back(oom ? "OOM" : bench::fmt(tq / 1e3, 2));
+    lserve_cells.push_back(bench::fmt(tl / 1e3, 2));
+    speedup_cells.push_back(oom ? "/" : bench::fmt(tq / tl, 1) + "x");
+  }
+  {
+    std::vector<std::string> header;
+    for (auto n : lengths) header.push_back(bench::klen(n));
+    bench::row("System", header);
+  }
+  bench::row("Quest", quest_cells);
+  bench::row("LServe", lserve_cells);
+  bench::row("Speedup", speedup_cells);
+
+  std::printf(
+      "\nShape check: LServe ahead in both stages at every length (paper:\n"
+      "prefill 1.6-2.1x, decode 1.3-1.5x); Quest runs out of memory at the\n"
+      "longest context while LServe (KV4 + evicted streaming pages) "
+      "fits.\n");
+  return 0;
+}

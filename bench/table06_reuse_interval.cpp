@@ -1,0 +1,51 @@
+// Table 6: accuracy vs page-selection reuse interval.
+//
+// Paper: Llama-3-8B on RULER at 64K; accuracy is flat through reuse
+// interval 4-8 and degrades at 16 (86.2 -> 83.2 for the 4096 budget), so
+// LServe defaults to 4. Our tracking proxy replays the mechanism: a target
+// drifting through the context probed with stale page tables between
+// refreshes (see eval/ruler.hpp).
+#include <cstdio>
+
+#include "common.hpp"
+#include "eval/ruler.hpp"
+
+using namespace lserve;
+
+int main() {
+  const std::vector<std::size_t> intervals{1, 2, 4, 8, 16};
+
+  bench::section(
+      "Table 6: tracking accuracy (0-100) vs reuse interval, seq 16K");
+  {
+    std::vector<std::string> header{"Dense"};
+    for (auto c : intervals) header.push_back("C=" + std::to_string(c));
+    bench::row("Budget", header);
+  }
+  for (std::size_t budget : {512u, 1024u}) {
+    eval::RulerConfig cfg;
+    cfg.seq_len = 16384;
+    cfg.head_dim = 64;
+    cfg.pages.page_size = 64;
+    cfg.pages.logical_page_size = 16;
+    cfg.trials = 3;
+    cfg.policy.kind = eval::PolicyKind::kHierSelect;
+    cfg.policy.selector.token_budget = budget;
+
+    std::vector<std::string> cells;
+    eval::RulerConfig dense_cfg = cfg;
+    dense_cfg.policy.kind = eval::PolicyKind::kDense;
+    dense_cfg.reuse_interval = 1;
+    cells.push_back(bench::fmt(eval::run_tracking(dense_cfg), 1));
+    for (std::size_t c : intervals) {
+      cfg.reuse_interval = c;
+      cells.push_back(bench::fmt(eval::run_tracking(cfg), 1));
+    }
+    bench::row("LServe-" + std::to_string(budget), cells);
+  }
+  std::printf(
+      "\nShape check: flat through C=4-8, visible degradation at C=16\n"
+      "(paper: 86.2 / 85.6 / 84.8 / 83.2 for C=1/4/8/16 at budget 4096).\n"
+      "LServe's default C=4 sits safely in the flat region.\n");
+  return 0;
+}

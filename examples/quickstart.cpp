@@ -1,0 +1,80 @@
+// Quickstart: serve a model with LServe's hybrid sparse attention.
+//
+// Builds two engines over the same synthetic weights — a dense baseline
+// (vLLM-like) and LServe (50% streaming heads, hierarchical page selection,
+// reusable selector, INT8 KV) — generates from both, and prints the work
+// and memory accounting that explains where LServe's speedups come from.
+//
+// Run:  ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "baselines/baseline_engines.hpp"
+#include "serve/engine.hpp"
+
+using namespace lserve;
+
+int main() {
+  const model::ModelConfig geometry = model::small();
+  std::printf("model: %s  (%zu layers, %zu q heads / %zu kv heads, d=%zu)\n",
+              geometry.name.c_str(), geometry.layers, geometry.q_heads,
+              geometry.kv_heads, geometry.head_dim);
+
+  // A dense baseline and an LServe engine share the model geometry and
+  // seed, so their weights are identical; only the serving policy differs.
+  serve::EngineConfig dense_cfg = baselines::vllm_config(geometry);
+  dense_cfg.dense_pages.page_size = 16;
+  dense_cfg.dense_pages.logical_page_size = 16;
+  dense_cfg.tiling = {16, 16};
+
+  serve::EngineConfig lserve_cfg = baselines::lserve_config(geometry);
+  lserve_cfg.dense_pages.page_size = 16;       // scaled-down pages for the
+  lserve_cfg.dense_pages.logical_page_size = 4;  // small example context
+  lserve_cfg.dense_pages.dtype = num::KvDtype::kInt8;
+  lserve_cfg.tiling = {16, 16};
+  lserve_cfg.streaming = {/*sink_tokens=*/16, /*local_tokens=*/64};
+  lserve_cfg.selector.token_budget = 128;
+  lserve_cfg.reuse_interval = 4;
+
+  serve::Engine dense(dense_cfg);
+  serve::Engine lserve(lserve_cfg);
+
+  // A 256-token prompt, 16 generated tokens.
+  std::vector<std::int32_t> prompt(256);
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<std::int32_t>((5 + 3 * i) % geometry.vocab);
+  }
+
+  const auto dense_seq = dense.create_sequence();
+  const auto lserve_seq = lserve.create_sequence();
+  const auto dense_out = dense.generate(dense_seq, prompt, 16);
+  const auto lserve_out = lserve.generate(lserve_seq, prompt, 16);
+
+  std::printf("\ngenerated (dense):  ");
+  for (auto t : dense_out) std::printf("%d ", t);
+  std::printf("\ngenerated (lserve): ");
+  for (auto t : lserve_out) std::printf("%d ", t);
+
+  std::printf("\n\n-- accounting after 256 prompt + 16 generated tokens --\n");
+  std::printf("%-34s %14s %14s\n", "", "dense", "lserve");
+  std::printf("%-34s %14zu %14zu\n", "decode KV token-iterations",
+              dense.stats().tokens_visited, lserve.stats().tokens_visited);
+  std::printf("%-34s %14.0f %14.0f\n", "KV cache device bytes",
+              dense.kv_device_bytes(), lserve.kv_device_bytes());
+  std::printf("%-34s %14zu %14zu\n", "selector runs / (runs+reuses)",
+              dense.stats().selector_runs, lserve.stats().selector_runs);
+  std::printf("%-34s %14s %14zu\n", "selector reuses", "-",
+              lserve.stats().selector_reuses);
+
+  const double work_saving =
+      1.0 - static_cast<double>(lserve.stats().tokens_visited) /
+                static_cast<double>(dense.stats().tokens_visited);
+  const double mem_saving =
+      1.0 - lserve.kv_device_bytes() / dense.kv_device_bytes();
+  std::printf(
+      "\nLServe skipped %.0f%% of decode attention iterations and holds "
+      "%.0f%%\nless KV memory (streaming-head eviction + INT8 pages + page "
+      "pruning).\n",
+      100.0 * work_saving, 100.0 * mem_saving);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Long-generation reasoning: the o1-style regime from the paper's intro,
+// where DECODE dominates (Llama-3-8B with 256K input + 20K output spends
+// ~5x longer decoding than prefilling).
+//
+// Part 1 reproduces that regime with the cost model: prefill vs decode
+// time for a 256K-context, 20K-generation request under vLLM and LServe.
+// Part 2 runs the reasoning mechanism itself: a multi-hop pointer chase
+// over a 20K-token synthetic derivation trace, where each retrieved step's
+// VALUE is the query for the next step — dense vs LServe pathways.
+//
+// Run:  ./examples/reasoning_trace
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "costmodel/gpu_spec.hpp"
+#include "costmodel/pipeline_cost.hpp"
+#include "eval/metrics.hpp"
+#include "model/workload.hpp"
+#include "numeric/math.hpp"
+
+using namespace lserve;
+
+int main() {
+  // ---- Part 1: where does the time go in a reasoning request? ----
+  const cost::GpuSpec spec = cost::a100();
+  const model::ModelConfig m = model::ds_r1_llama_8b();
+  const std::size_t context = 262144, generated = 20480;
+
+  std::printf("request: %zu context tokens, %zu generated tokens (%s)\n\n",
+              context, generated, m.name.c_str());
+  std::printf("%-12s %14s %16s %14s\n", "system", "prefill (s)",
+              "decode 20K (s)", "decode/prefill");
+  for (const auto& [name, policy] :
+       {std::pair{"vLLM", cost::vllm_policy()},
+        std::pair{"LServe", cost::lserve_policy()}}) {
+    const double prefill_s =
+        cost::prefill_cost(spec, m, policy, context, 1).total_us() / 1e6;
+    // Decode cost varies with the growing context; integrate stepwise at a
+    // coarse grid.
+    double decode_s = 0.0;
+    const std::size_t chunk = 2048;
+    for (std::size_t g = 0; g < generated; g += chunk) {
+      decode_s += cost::decode_step_cost(spec, m, policy, context + g, 1)
+                      .total_us() *
+                  chunk / 1e6;
+    }
+    std::printf("%-12s %14.1f %16.1f %14.1f\n", name, prefill_s, decode_s,
+                decode_s / prefill_s);
+  }
+  std::printf(
+      "\nDecode dominates the dense baseline ~5x (paper: 116 s prefill vs\n"
+      "540 s decode); LServe's budget-bounded decode flattens the long\n"
+      "tail.\n");
+
+  // ---- Part 2: does sparse attention survive multi-hop reasoning? ----
+  const std::size_t trace_tokens = 20480, head_dim = 128, hops = 5;
+  const float strength = model::salient_strength(trace_tokens, head_dim);
+  model::StreamConfig sc;
+  sc.n_tokens = trace_tokens;
+  sc.head_dim = head_dim;
+  sc.seed = 99;
+  model::TokenStream trace = model::smooth_stream(sc);
+  std::vector<std::size_t> positions;
+  for (std::size_t h = 0; h < hops; ++h) {
+    positions.push_back(1024 + h * (trace_tokens - 2048) / hops);
+  }
+  const auto chain = model::plant_chain(trace, positions, strength, 5);
+
+  std::printf("\nmulti-hop derivation chase over the %zu-token trace "
+              "(%zu hops):\n",
+              trace_tokens, hops);
+  const std::vector<std::tuple<const char*, eval::PolicyKind, std::size_t>>
+      pathways{std::make_tuple("dense", eval::PolicyKind::kDense,
+                               std::size_t{0}),
+               std::make_tuple("LServe (hier, 2K budget, KV4)",
+                               eval::PolicyKind::kHierSelect,
+                               std::size_t{2048})};
+  for (const auto& [name, kind, budget] : pathways) {
+    kv::PageConfig pages;
+    pages.page_size = 64;
+    pages.logical_page_size = 16;
+    pages.head_dim = head_dim;
+    pages.dtype = num::KvDtype::kInt4;
+    kv::PageAllocator alloc(pages, trace_tokens / 64 + 2);
+    kv::HeadCache head;
+    eval::fill_head_cache(alloc, head, trace);
+
+    eval::ProbePolicy policy;
+    policy.kind = kind;
+    policy.selector.token_budget = budget;
+    std::vector<float> q = model::probe_query(chain.front(), strength, 0.05f,
+                                              11);
+    std::vector<float> out;
+    for (std::size_t hop = 0; hop < hops; ++hop) {
+      out = eval::run_probe(alloc, head, q.data(), policy);
+      const float norm = num::l2_norm(out.data(), out.size());
+      if (norm < 1e-9f) break;
+      for (std::size_t c = 0; c < out.size(); ++c) {
+        q[c] = strength * out[c] / norm;
+      }
+    }
+    std::printf("  %-32s final-answer fidelity %.3f\n", name,
+                eval::retrieval_accuracy(out, chain.back().payload));
+  }
+  std::printf(
+      "\nThe chain only resolves if EVERY hop's page survives pruning —\n"
+      "the property Table 4 checks on AIME/MATH500.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Block masks and the iterator abstraction for block-sparse attention
+// (LServe §3.1 & §3.4).
+//
+// A BlockMask says, for every (query-tile, key-tile) pair, whether the tile
+// is computed or skipped. The kernel never branches on the mask inside its
+// sequential loop: per query tile we pre-build the sorted list of live key
+// blocks and hand the kernel a BlockIterator, so data offsets follow from
+// offset = iter(i+1) - iter(i). This is the design that turns sparsity into
+// measured speedup — the loop trip count itself shrinks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lserve::attn {
+
+/// Dense/sparse decision table over (q_block, k_block) tiles.
+class BlockMask {
+ public:
+  BlockMask() = default;
+  BlockMask(std::size_t q_blocks, std::size_t k_blocks, bool keep_all = false);
+
+  std::size_t q_blocks() const noexcept { return q_blocks_; }
+  std::size_t k_blocks() const noexcept { return k_blocks_; }
+
+  bool kept(std::size_t qb, std::size_t kb) const noexcept {
+    return keep_[qb * k_blocks_ + kb] != 0;
+  }
+  void set(std::size_t qb, std::size_t kb, bool keep) noexcept {
+    keep_[qb * k_blocks_ + kb] = keep ? 1 : 0;
+  }
+
+  /// Fully-causal mask: every tile at or below the diagonal is kept.
+  /// `tile_q` / `tile_k` are the tile heights/widths in tokens; `n_tokens`
+  /// bounds the causal frontier.
+  static BlockMask causal(std::size_t n_tokens, std::size_t tile_q,
+                          std::size_t tile_k);
+
+  /// Λ-shaped streaming mask (attention sinks + local window), expressed at
+  /// block granularity over a causal base: key tile kb is kept for query
+  /// tile qb iff kb is a sink block or within `local_blocks` of qb's
+  /// diagonal. The most recent (diagonal) block is always kept.
+  static BlockMask streaming(std::size_t n_tokens, std::size_t tile_q,
+                             std::size_t tile_k, std::size_t sink_blocks,
+                             std::size_t local_blocks);
+
+  /// Number of kept tiles.
+  std::size_t kept_blocks() const noexcept;
+
+  /// Sparsity r relative to the causal mask: fraction of causal tiles that
+  /// were dropped. Theoretical kernel speedup is 1 / (1 - r) (§3.1).
+  double sparsity_vs_causal(std::size_t n_tokens, std::size_t tile_q,
+                            std::size_t tile_k) const noexcept;
+
+  /// Sorted live key-block list for query tile qb.
+  std::span<const std::uint32_t> row_blocks(std::size_t qb) const noexcept;
+
+  /// Must be called after the mask is final and before row_blocks();
+  /// builds the per-row compressed block lists the iterator walks.
+  void finalize();
+
+ private:
+  std::size_t q_blocks_ = 0;
+  std::size_t k_blocks_ = 0;
+  std::vector<std::uint8_t> keep_;
+  std::vector<std::uint32_t> row_data_;  // concatenated per-row block lists
+  std::vector<std::size_t> row_offset_;  // q_blocks_+1 offsets into row_data_
+  bool finalized_ = false;
+};
+
+/// Forward iterator over the live key blocks of one query tile.
+///
+/// Mirrors the CUDA iterator of §3.4: next() yields the logical key-block
+/// index; the caller derives the memory offset from consecutive values.
+class BlockIterator {
+ public:
+  explicit BlockIterator(std::span<const std::uint32_t> blocks) noexcept
+      : blocks_(blocks) {}
+
+  bool done() const noexcept { return i_ >= blocks_.size(); }
+  std::uint32_t next() noexcept { return blocks_[i_++]; }
+  std::size_t remaining() const noexcept { return blocks_.size() - i_; }
+
+ private:
+  std::span<const std::uint32_t> blocks_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace lserve::attn

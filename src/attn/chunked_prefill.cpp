@@ -1,0 +1,79 @@
+#include "attn/chunked_prefill.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "numeric/math.hpp"
+
+namespace lserve::attn {
+
+void chunked_prefill_head(const kv::PageAllocator& alloc,
+                          const kv::SelectedPageTable& history,
+                          std::size_t history_tokens, num::ConstMatView q,
+                          num::ConstMatView k, num::ConstMatView v,
+                          const BlockMask& chunk_mask, PrefillTiling tiling,
+                          float scale, num::MatView out) {
+  assert(q.cols == k.cols && k.rows == v.rows && out.rows == q.rows);
+  const std::size_t n = q.rows;
+  const std::size_t d = q.cols;
+  const std::size_t tq = tiling.tile_q;
+  const std::size_t tk = tiling.tile_k;
+  const std::size_t page_size = alloc.config().page_size;
+  const std::size_t q_blocks = (n + tq - 1) / tq;
+  assert(chunk_mask.q_blocks() == q_blocks);
+
+  std::vector<num::OnlineSoftmax> acc;
+  acc.reserve(tq);
+  for (std::size_t i = 0; i < tq; ++i) acc.emplace_back(d);
+  std::vector<float> key(d);
+  std::vector<float> value(d);
+
+  for (std::size_t qb = 0; qb < q_blocks; ++qb) {
+    const std::size_t row0 = qb * tq;
+    const std::size_t rows = std::min(tq, n - row0);
+    for (std::size_t r = 0; r < rows; ++r) acc[r].reset();
+
+    // History phase: every chunk row attends all listed cached tokens.
+    // Scores are computed once per (row, token); the page loop is the
+    // sequential KV walk of the decode kernel, shared across the tile.
+    for (const kv::SelectedPage& entry : history) {
+      const kv::Page& page = alloc.get(entry.page);
+      const std::size_t begin =
+          static_cast<std::size_t>(entry.block) * page_size;
+      std::size_t count =
+          history_tokens > begin ? history_tokens - begin : 0;
+      count = std::min({count, page_size, page.size()});
+      for (std::size_t s = 0; s < count; ++s) {
+        page.load_key(s, key.data());
+        page.load_value(s, value.data());
+        for (std::size_t r = 0; r < rows; ++r) {
+          acc[r].fold_one(scale * num::dot(q.row(row0 + r), key.data(), d),
+                          value.data());
+        }
+      }
+    }
+
+    // In-chunk phase: block-sparse causal over the chunk's own keys.
+    BlockIterator it(chunk_mask.row_blocks(qb));
+    while (!it.done()) {
+      const std::size_t kb = it.next();
+      const std::size_t col0 = kb * tk;
+      const std::size_t cols = std::min(tk, k.rows - col0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t row = row0 + r;
+        const std::size_t hi = std::min(col0 + cols, row + 1);
+        for (std::size_t c = col0; c < hi; ++c) {
+          acc[r].fold_one(scale * num::dot(q.row(row), k.row(c), d),
+                          v.row(c));
+        }
+      }
+    }
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      acc[r].finish(out.row(row0 + r));
+    }
+  }
+}
+
+}  // namespace lserve::attn

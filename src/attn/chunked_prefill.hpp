@@ -1,0 +1,36 @@
+// Chunked prefill: attention for a chunk of new tokens over (a) the paged
+// KV history already in the cache and (b) the chunk itself, causally.
+//
+// Serving systems prefill very long prompts in chunks to bound activation
+// memory; each chunk's queries attend to every cached token (full history
+// visibility) plus the in-chunk causal prefix. The history side reuses the
+// pruned-page-table interface, so streaming heads pass their sink+local
+// index table and dense heads the full table — the same unification as
+// decode (§3.6). With an empty history this reduces to the ordinary
+// block-sparse prefill.
+#pragma once
+
+#include <cstddef>
+
+#include "attn/block_sparse_prefill.hpp"
+#include "kv/page_allocator.hpp"
+#include "kv/page_table.hpp"
+#include "numeric/tensor.hpp"
+
+namespace lserve::attn {
+
+/// Prefill one head's chunk with paged history.
+///
+/// `history` lists the cached pages to attend (sorted by block) holding
+/// `history_tokens` total sequence tokens so far; q/k/v are the chunk's
+/// [n x d] projections (RoPE already applied at absolute positions);
+/// `chunk_mask` is the finalized in-chunk block mask (causal / streaming /
+/// dynamic, sized for n and `tiling`); `out` is [n x d].
+void chunked_prefill_head(const kv::PageAllocator& alloc,
+                          const kv::SelectedPageTable& history,
+                          std::size_t history_tokens, num::ConstMatView q,
+                          num::ConstMatView k, num::ConstMatView v,
+                          const BlockMask& chunk_mask, PrefillTiling tiling,
+                          float scale, num::MatView out);
+
+}  // namespace lserve::attn

@@ -1,0 +1,46 @@
+#include "attn/decode_attention.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "numeric/math.hpp"
+
+namespace lserve::attn {
+
+void sparse_paged_decode(const kv::PageAllocator& alloc,
+                         const kv::SelectedPageTable& table,
+                         std::size_t seq_tokens, const float* q,
+                         std::size_t head_dim, float scale, float* out,
+                         float* lse_out, DecodeWorkStats* stats) {
+  assert(head_dim == alloc.config().head_dim);
+  const std::size_t page_size = alloc.config().page_size;
+  num::OnlineSoftmax acc(head_dim);
+  std::vector<float> key(head_dim);
+  std::vector<float> value(head_dim);
+
+  for (const kv::SelectedPage& entry : table) {
+    const kv::Page& page = alloc.get(entry.page);
+    // Tokens live in this block: full pages hold page_size tokens, the
+    // trailing block holds the remainder. For streaming-head ring pages the
+    // page's own fill count is authoritative.
+    const std::size_t begin =
+        static_cast<std::size_t>(entry.block) * page_size;
+    std::size_t count = seq_tokens > begin ? seq_tokens - begin : 0;
+    if (count > page_size) count = page_size;
+    if (count > page.size()) count = page.size();
+
+    for (std::size_t s = 0; s < count; ++s) {
+      page.load_key(s, key.data());
+      page.load_value(s, value.data());
+      acc.fold_one(scale * num::dot(q, key.data(), head_dim), value.data());
+    }
+    if (stats != nullptr) {
+      ++stats->pages_visited;
+      stats->tokens_visited += count;
+    }
+  }
+  acc.finish(out);
+  if (lse_out != nullptr) *lse_out = acc.log_sum_exp();
+}
+
+}  // namespace lserve::attn

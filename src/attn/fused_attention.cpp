@@ -1,0 +1,183 @@
+#include "attn/fused_attention.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "numeric/math.hpp"
+
+namespace lserve::attn {
+namespace {
+
+float resolve_scale(float scale, std::size_t head_dim) {
+  if (scale != 0.0f) return scale;
+  return 1.0f / std::sqrt(static_cast<float>(head_dim));
+}
+
+}  // namespace
+
+void fused_sparse_prefill(num::ConstMatView q, num::ConstMatView k,
+                          num::ConstMatView v,
+                          std::span<const kv::HeadKind> kv_head_kinds,
+                          std::size_t head_dim, const FusedPrefillConfig& cfg,
+                          num::MatView out) {
+  const std::size_t n = q.rows;
+  const std::size_t q_heads = q.cols / head_dim;
+  const std::size_t kv_heads = kv_head_kinds.size();
+  assert(k.cols == kv_heads * head_dim && q_heads % kv_heads == 0);
+  const std::size_t group = q_heads / kv_heads;
+  const float scale = resolve_scale(cfg.scale, head_dim);
+
+  // Masks are shared within a kv group; dynamic masks additionally depend
+  // on the query head, so they are built per query head below.
+  BlockMask causal =
+      BlockMask::causal(n, cfg.tiling.tile_q, cfg.tiling.tile_k);
+  causal.finalize();
+  BlockMask lambda = BlockMask::streaming(n, cfg.tiling.tile_q,
+                                          cfg.tiling.tile_k,
+                                          cfg.streaming.sink_blocks,
+                                          cfg.streaming.local_blocks);
+  lambda.finalize();
+
+  for (std::size_t h = 0; h < q_heads; ++h) {
+    const std::size_t kvh = h / group;
+    const num::ConstMatView qh = q.cols_slice(h * head_dim, head_dim);
+    const num::ConstMatView kh = k.cols_slice(kvh * head_dim, head_dim);
+    const num::ConstMatView vh = v.cols_slice(kvh * head_dim, head_dim);
+    num::MatView oh = out.cols_slice(h * head_dim, head_dim);
+
+    if (kv_head_kinds[kvh] == kv::HeadKind::kStreaming) {
+      block_sparse_prefill(qh, kh, vh, lambda, cfg.tiling, scale, oh);
+    } else if (cfg.dynamic_dense) {
+      const BlockMask dyn = sparse::build_dynamic_prefill_mask(
+          qh, kh, cfg.tiling, cfg.dynamic_cfg, scale);
+      block_sparse_prefill(qh, kh, vh, dyn, cfg.tiling, scale, oh);
+    } else {
+      block_sparse_prefill(qh, kh, vh, causal, cfg.tiling, scale, oh);
+    }
+  }
+}
+
+void fused_chunked_prefill(const kv::PageAllocator& dense_alloc,
+                           const kv::PageAllocator& stream_alloc,
+                           const kv::TwoWayKvCache& cache, std::size_t layer,
+                           num::ConstMatView q, num::ConstMatView k,
+                           num::ConstMatView v, std::size_t head_dim,
+                           const FusedPrefillConfig& cfg, num::MatView out) {
+  const std::size_t n = q.rows;
+  const std::size_t q_heads = q.cols / head_dim;
+  const std::size_t kv_heads = cache.kv_heads();
+  assert(k.cols == kv_heads * head_dim && q_heads % kv_heads == 0);
+  const std::size_t group = q_heads / kv_heads;
+  const float scale = cfg.scale != 0.0f
+                          ? cfg.scale
+                          : 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  BlockMask causal =
+      BlockMask::causal(n, cfg.tiling.tile_q, cfg.tiling.tile_k);
+  causal.finalize();
+  BlockMask lambda = BlockMask::streaming(
+      n, cfg.tiling.tile_q, cfg.tiling.tile_k, cfg.streaming.sink_blocks,
+      cfg.streaming.local_blocks);
+  lambda.finalize();
+
+  for (std::size_t kvh = 0; kvh < kv_heads; ++kvh) {
+    const bool streaming = cache.kind(layer, kvh) == kv::HeadKind::kStreaming;
+    // Per-head token counts are authoritative: during a chunked prefill
+    // the layer loop interleaves attention and write-back, so the global
+    // sequence counter is ahead of the not-yet-written layers.
+    const std::size_t history_tokens =
+        streaming ? cache.streaming_head(layer, kvh).tokens()
+                  : cache.dense_head(layer, kvh).tokens();
+    const kv::SelectedPageTable history =
+        history_tokens == 0
+            ? kv::SelectedPageTable{}
+            : (streaming
+                   ? cache.streaming_head(layer, kvh).index_table()
+                   : kv::full_page_table(
+                         cache.dense_head(layer, kvh).view(dense_alloc)));
+    const kv::PageAllocator& alloc = streaming ? stream_alloc : dense_alloc;
+    const num::ConstMatView kh = k.cols_slice(kvh * head_dim, head_dim);
+    const num::ConstMatView vh = v.cols_slice(kvh * head_dim, head_dim);
+
+    for (std::size_t g = 0; g < group; ++g) {
+      const std::size_t h = kvh * group + g;
+      const num::ConstMatView qh = q.cols_slice(h * head_dim, head_dim);
+      num::MatView oh = out.cols_slice(h * head_dim, head_dim);
+      if (streaming) {
+        chunked_prefill_head(alloc, history, history_tokens, qh, kh, vh,
+                             lambda, cfg.tiling, scale, oh);
+      } else if (cfg.dynamic_dense) {
+        const BlockMask dyn = sparse::build_dynamic_prefill_mask(
+            qh, kh, cfg.tiling, cfg.dynamic_cfg, scale);
+        chunked_prefill_head(alloc, history, history_tokens, qh, kh, vh, dyn,
+                             cfg.tiling, scale, oh);
+      } else {
+        chunked_prefill_head(alloc, history, history_tokens, qh, kh, vh,
+                             causal, cfg.tiling, scale, oh);
+      }
+    }
+  }
+}
+
+void fused_sparse_decode(const kv::PageAllocator& dense_alloc,
+                         const kv::PageAllocator& stream_alloc,
+                         const kv::TwoWayKvCache& cache, std::size_t layer,
+                         num::ConstMatView q_heads, std::size_t group_size,
+                         sparse::ReusableSelector* selector, std::size_t step,
+                         const FusedDecodeConfig& cfg, num::MatView out,
+                         DecodeWorkStats* stats) {
+  const std::size_t head_dim = q_heads.cols;
+  const std::size_t n_q_heads = q_heads.rows;
+  const std::size_t kv_heads = cache.kv_heads();
+  assert(n_q_heads == kv_heads * group_size);
+  const float scale = resolve_scale(cfg.scale, head_dim);
+  const std::size_t seq_tokens = cache.tokens();
+
+  std::vector<float> group_q(head_dim);
+  for (std::size_t kvh = 0; kvh < kv_heads; ++kvh) {
+    kv::SelectedPageTable table;
+
+    if (cache.kind(layer, kvh) == kv::HeadKind::kStreaming) {
+      table = cache.streaming_head(layer, kvh).index_table();
+    } else {
+      const kv::HeadCache& head = cache.dense_head(layer, kvh);
+      if (!cfg.dynamic_dense) {
+        table = kv::full_page_table(head.view(dense_alloc));
+      } else {
+        // Selector query: mean of the group's query heads (one selection
+        // per kv head, shared across its group).
+        std::fill(group_q.begin(), group_q.end(), 0.0f);
+        for (std::size_t g = 0; g < group_size; ++g) {
+          num::axpy(1.0f / static_cast<float>(group_size),
+                    q_heads.row(kvh * group_size + g), group_q.data(),
+                    head_dim);
+        }
+        auto recompute = [&]() {
+          return cfg.hierarchical
+                     ? sparse::select_pages_hierarchical(
+                           dense_alloc, head, group_q.data(), cfg.selector)
+                     : sparse::select_pages_flat(dense_alloc, head,
+                                                 group_q.data(), cfg.selector);
+        };
+        if (selector != nullptr) {
+          const std::size_t slot = layer * kv_heads + kvh;
+          table = selector->get(slot, step, recompute);
+        } else {
+          table = recompute();
+        }
+      }
+    }
+
+    const kv::PageAllocator& alloc =
+        cache.kind(layer, kvh) == kv::HeadKind::kStreaming ? stream_alloc
+                                                           : dense_alloc;
+    for (std::size_t g = 0; g < group_size; ++g) {
+      const std::size_t h = kvh * group_size + g;
+      sparse_paged_decode(alloc, table, seq_tokens, q_heads.row(h), head_dim,
+                          scale, out.row(h), nullptr, stats);
+    }
+  }
+}
+
+}  // namespace lserve::attn

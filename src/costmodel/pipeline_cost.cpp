@@ -1,0 +1,231 @@
+#include "costmodel/pipeline_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "costmodel/kernel_cost.hpp"
+
+namespace lserve::cost {
+
+ServingPolicy lserve_policy() {
+  ServingPolicy p;
+  p.kv_dtype = num::KvDtype::kInt4;
+  p.page_size = 64;
+  p.logical_page_size = 16;
+  p.streaming_fraction = 0.5;
+  p.dynamic_decode = true;
+  p.token_budget = 4096;
+  p.reuse_interval = 4;
+  p.weight_bits = 4;
+  return p;
+}
+
+ServingPolicy vllm_policy() {
+  ServingPolicy p;
+  p.kv_dtype = num::KvDtype::kFp16;
+  p.page_size = 32;
+  p.logical_page_size = 32;
+  p.weight_bits = 8;  // vLLM W8A8 per the paper's baseline setting.
+  return p;
+}
+
+ServingPolicy qserve_policy() {
+  ServingPolicy p;
+  p.kv_dtype = num::KvDtype::kInt4;
+  p.page_size = 64;
+  p.logical_page_size = 64;
+  p.weight_bits = 4;
+  return p;
+}
+
+ServingPolicy duo_attention_policy() {
+  ServingPolicy p;
+  p.kv_dtype = num::KvDtype::kFp16;
+  p.page_size = 32;
+  p.logical_page_size = 32;
+  p.streaming_fraction = 0.5;
+  p.weight_bits = 16;
+  return p;
+}
+
+ServingPolicy quest_policy() {
+  ServingPolicy p;
+  p.kv_dtype = num::KvDtype::kFp16;
+  p.page_size = 16;
+  p.logical_page_size = 16;
+  p.dynamic_decode = true;
+  p.token_budget = 4096;
+  p.reuse_interval = 1;
+  p.skip_selector_when_covered = false;  // Quest scores every step.
+  p.weight_bits = 16;
+  return p;
+}
+
+ServingPolicy minference_policy() {
+  ServingPolicy p;
+  p.kv_dtype = num::KvDtype::kFp16;
+  p.page_size = 32;
+  p.logical_page_size = 32;
+  p.dynamic_prefill = true;
+  p.prefill_kept_fraction = 0.35;
+  p.weight_bits = 16;
+  return p;
+}
+
+std::size_t dense_head_kv_tokens(const ServingPolicy& p,
+                                 std::size_t seq_len) noexcept {
+  if (!p.dynamic_decode) return seq_len;
+  return std::min(seq_len, p.token_budget);
+}
+
+std::size_t streaming_head_kv_tokens(const ServingPolicy& p,
+                                     std::size_t seq_len) noexcept {
+  const std::size_t lambda = p.sink_tokens + p.local_tokens;
+  const std::size_t rounded =
+      (lambda + p.page_size - 1) / p.page_size * p.page_size;
+  return std::min(seq_len, rounded);
+}
+
+namespace {
+
+/// Per-layer GEMM cost of one transformer layer with `m` token rows.
+double layer_gemm_us(const GpuSpec& spec, const model::ModelConfig& mdl,
+                     const ServingPolicy& p, std::size_t m) {
+  const std::size_t h = mdl.hidden();
+  const std::size_t kv = mdl.kv_dim();
+  double us = 0.0;
+  us += gemm_us(spec, m, h + 2 * kv, h, p.weight_bits);  // fused QKV
+  us += gemm_us(spec, m, h, h, p.weight_bits);           // output proj
+  us += gemm_us(spec, m, mdl.ffn_hidden, h, p.weight_bits);  // up
+  us += gemm_us(spec, m, mdl.ffn_hidden, h, p.weight_bits);  // gate
+  us += gemm_us(spec, m, h, mdl.ffn_hidden, p.weight_bits);  // down
+  return us;
+}
+
+/// Dense/streaming head split at kv-head granularity.
+void head_split(const model::ModelConfig& mdl, const ServingPolicy& p,
+                std::size_t& dense_heads, std::size_t& streaming_heads) {
+  streaming_heads = static_cast<std::size_t>(std::round(
+      p.streaming_fraction * static_cast<double>(mdl.kv_heads)));
+  dense_heads = mdl.kv_heads - streaming_heads;
+}
+
+/// Selector cost per decode step for one layer (0 when inactive).
+double layer_selector_us(const GpuSpec& spec, const model::ModelConfig& mdl,
+                         const ServingPolicy& p, std::size_t seq_len,
+                         std::size_t dense_heads, std::size_t batch) {
+  if (!p.dynamic_decode || dense_heads == 0) return 0.0;
+  if (p.skip_selector_when_covered && seq_len <= p.token_budget) return 0.0;
+  const std::size_t reps_per_head =
+      (seq_len + p.logical_page_size - 1) / p.logical_page_size;
+  const double one_pass =
+      page_selector_us(spec, dense_heads * reps_per_head, mdl.head_dim,
+                       batch);
+  return one_pass / static_cast<double>(std::max<std::size_t>(
+                        1, p.reuse_interval));
+}
+
+}  // namespace
+
+double decode_attention_layer_us(const GpuSpec& spec,
+                                 const model::ModelConfig& m,
+                                 const ServingPolicy& p, std::size_t seq_len,
+                                 std::size_t batch) {
+  std::size_t dense_heads = 0;
+  std::size_t streaming_heads = 0;
+  head_split(m, p, dense_heads, streaming_heads);
+
+  double us = 0.0;
+  if (dense_heads > 0) {
+    us += decode_attention_us(spec, dense_heads, m.head_dim,
+                              dense_head_kv_tokens(p, seq_len), p.kv_dtype,
+                              p.page_size, batch);
+  }
+  if (streaming_heads > 0) {
+    us += decode_attention_us(spec, streaming_heads, m.head_dim,
+                              streaming_head_kv_tokens(p, seq_len),
+                              p.kv_dtype, p.page_size, batch);
+  }
+  us += layer_selector_us(spec, m, p, seq_len, dense_heads, batch);
+  return us;
+}
+
+StageBreakdown decode_step_cost(const GpuSpec& spec,
+                                const model::ModelConfig& m,
+                                const ServingPolicy& p, std::size_t seq_len,
+                                std::size_t batch) {
+  std::size_t dense_heads = 0;
+  std::size_t streaming_heads = 0;
+  head_split(m, p, dense_heads, streaming_heads);
+
+  StageBreakdown layer;
+  if (dense_heads > 0) {
+    layer.attention_us += decode_attention_us(
+        spec, dense_heads, m.head_dim, dense_head_kv_tokens(p, seq_len),
+        p.kv_dtype, p.page_size, batch);
+  }
+  if (streaming_heads > 0) {
+    layer.attention_us += decode_attention_us(
+        spec, streaming_heads, m.head_dim,
+        streaming_head_kv_tokens(p, seq_len), p.kv_dtype, p.page_size,
+        batch);
+  }
+  layer.selector_us =
+      layer_selector_us(spec, m, p, seq_len, dense_heads, batch);
+  layer.gemm_us = layer_gemm_us(spec, m, p, batch);
+  layer.other_us = layer_overhead_us(spec);
+
+  StageBreakdown total;
+  const double L = static_cast<double>(m.layers);
+  total.attention_us = layer.attention_us * L;
+  total.gemm_us = layer.gemm_us * L;
+  total.selector_us = layer.selector_us * L;
+  total.other_us = layer.other_us * L;
+  return total;
+}
+
+StageBreakdown prefill_cost(const GpuSpec& spec, const model::ModelConfig& m,
+                            const ServingPolicy& p, std::size_t n_tokens,
+                            std::size_t batch) {
+  std::size_t dense_heads = 0;
+  std::size_t streaming_heads = 0;
+  head_split(m, p, dense_heads, streaming_heads);
+  const std::size_t group = m.group_size();
+  const std::size_t dense_q = dense_heads * group;
+  const std::size_t streaming_q = streaming_heads * group;
+
+  StageBreakdown layer;
+  // Dense (retrieval) heads: full causal or MInference-pruned.
+  const double dense_kept =
+      p.dynamic_prefill ? p.prefill_kept_fraction : 1.0;
+  if (dense_q > 0) {
+    layer.attention_us += prefill_attention_us(spec, dense_q, m.head_dim,
+                                               n_tokens, dense_kept, batch);
+  }
+  // Streaming heads: Λ mask keeps ~ (sink+local)*N of N^2/2 pairs.
+  if (streaming_q > 0) {
+    const double lambda =
+        static_cast<double>(p.sink_tokens + p.local_tokens);
+    const double n = static_cast<double>(n_tokens);
+    const double kept = std::min(1.0, lambda / (n / 2.0));
+    layer.attention_us += prefill_attention_us(spec, streaming_q, m.head_dim,
+                                               n_tokens, kept, batch);
+  }
+  layer.gemm_us = layer_gemm_us(spec, m, p, n_tokens * batch);
+  // K_stats pooling for dense heads (context-stage, §5.3) + glue.
+  layer.other_us = layer_overhead_us(spec);
+  if (p.dynamic_decode && dense_heads > 0) {
+    layer.other_us +=
+        kstats_pooling_us(spec, dense_heads, m.head_dim, n_tokens, batch);
+  }
+
+  StageBreakdown total;
+  const double L = static_cast<double>(m.layers);
+  total.attention_us = layer.attention_us * L;
+  total.gemm_us = layer.gemm_us * L;
+  total.selector_us = 0.0;
+  total.other_us = layer.other_us * L;
+  return total;
+}
+
+}  // namespace lserve::cost

@@ -1,0 +1,202 @@
+#include "eval/longbench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iterator>
+#include <string>
+
+#include "numeric/math.hpp"
+#include "numeric/rng.hpp"
+
+namespace lserve::eval {
+namespace {
+
+struct TaskSpec {
+  const char* name;
+  enum Kind { kNeedle, kChain2, kAggregation, kLocal } kind;
+  std::size_t seq_len;
+  double depth;        // for kNeedle
+  std::size_t sites;   // for kAggregation
+};
+
+constexpr TaskSpec kTasks[] = {
+    {"2WikiMQA", TaskSpec::kChain2, 16384, 0.0, 0},
+    {"DuReader", TaskSpec::kNeedle, 16384, 0.35, 0},
+    {"HotpotQA", TaskSpec::kChain2, 12288, 0.0, 0},
+    {"MultiNews", TaskSpec::kAggregation, 8192, 0.0, 6},
+    {"Qasper", TaskSpec::kNeedle, 8192, 0.7, 0},
+    {"QMSum", TaskSpec::kAggregation, 16384, 0.0, 8},
+    {"SamSum", TaskSpec::kLocal, 8192, 0.0, 0},
+    {"TriviaQA", TaskSpec::kNeedle, 12288, 0.15, 0},
+};
+
+double needle_instance(const LongBenchConfig& cfg, std::size_t n,
+                       double depth, std::uint64_t seed) {
+  const float strength =
+      cfg.strength > 0.0f ? cfg.strength
+                          : model::salient_strength(n, cfg.head_dim);
+  model::StreamConfig sc;
+  sc.n_tokens = n;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  const auto pos = static_cast<std::size_t>(depth * static_cast<double>(n - 2));
+  const auto needle =
+      model::plant_needle(stream, std::max<std::size_t>(pos, 1),
+                          strength, seed + 1);
+  const auto q = model::probe_query(needle, strength, 0.05f, seed + 2);
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  kv::PageAllocator alloc(pages, n / pages.page_size + 2);
+  kv::HeadCache head;
+  fill_head_cache(alloc, head, stream);
+  const auto out = run_probe(alloc, head, q.data(), cfg.policy);
+  return retrieval_accuracy(out, needle.payload);
+}
+
+double chain2_instance(const LongBenchConfig& cfg, std::size_t n,
+                       std::uint64_t seed) {
+  const float strength =
+      cfg.strength > 0.0f ? cfg.strength
+                          : model::salient_strength(n, cfg.head_dim);
+  model::StreamConfig sc;
+  sc.n_tokens = n;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  const std::vector<std::size_t> positions{n / 5, (3 * n) / 4};
+  const auto chain = model::plant_chain(stream, positions, strength,
+                                        seed + 1);
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  kv::PageAllocator alloc(pages, n / pages.page_size + 2);
+  kv::HeadCache head;
+  fill_head_cache(alloc, head, stream);
+
+  std::vector<float> q =
+      model::probe_query(chain.front(), strength, 0.05f, seed + 2);
+  std::vector<float> out;
+  for (std::size_t hop = 0; hop < chain.size(); ++hop) {
+    out = run_probe(alloc, head, q.data(), cfg.policy);
+    const float norm = num::l2_norm(out.data(), out.size());
+    if (norm < 1e-9f) break;
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      q[c] = strength * out[c] / norm;
+    }
+  }
+  return retrieval_accuracy(out, chain.back().payload);
+}
+
+double aggregation_instance(const LongBenchConfig& cfg, std::size_t n,
+                            std::size_t sites, std::uint64_t seed) {
+  const float strength =
+      cfg.strength > 0.0f ? cfg.strength
+                          : model::salient_strength(n, cfg.head_dim);
+  model::StreamConfig sc;
+  sc.n_tokens = n;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  std::vector<std::size_t> positions(sites);
+  for (std::size_t i = 0; i < sites; ++i) {
+    positions[i] = n / 8 + i * (3 * n / 4) / sites;
+  }
+  const auto plant =
+      model::plant_aggregation(stream, positions, strength, seed + 1);
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  kv::PageAllocator alloc(pages, n / pages.page_size + 2);
+  kv::HeadCache head;
+  fill_head_cache(alloc, head, stream);
+
+  std::vector<float> q(cfg.head_dim);
+  for (std::size_t c = 0; c < cfg.head_dim; ++c) {
+    q[c] = strength * plant.direction[c];
+  }
+  const auto out = run_probe(alloc, head, q.data(), cfg.policy);
+  std::vector<float> target(cfg.head_dim, 0.0f);
+  for (const auto& payload : plant.payloads) {
+    num::axpy(1.0f / static_cast<float>(plant.payloads.size()),
+              payload.data(), target.data(), cfg.head_dim);
+  }
+  return retrieval_accuracy(out, target);
+}
+
+double local_instance(const LongBenchConfig& cfg, std::size_t n,
+                      std::uint64_t seed) {
+  const float strength =
+      cfg.strength > 0.0f ? cfg.strength
+                          : model::salient_strength(n, cfg.head_dim);
+  // Answer in the most recent 128 tokens: every policy that keeps the
+  // recent window (all of ours do) should succeed.
+  model::StreamConfig sc;
+  sc.n_tokens = n;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  const std::size_t pos = n - 1 - (seed % 96);
+  const auto needle =
+      model::plant_needle(stream, pos, strength, seed + 1);
+  const auto q = model::probe_query(needle, strength, 0.05f, seed + 2);
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  kv::PageAllocator alloc(pages, n / pages.page_size + 2);
+  kv::HeadCache head;
+  fill_head_cache(alloc, head, stream);
+  const auto out = run_probe(alloc, head, q.data(), cfg.policy);
+  return retrieval_accuracy(out, needle.payload);
+}
+
+}  // namespace
+
+std::vector<LongBenchRow> run_longbench(const LongBenchConfig& cfg) {
+  std::vector<LongBenchRow> rows;
+  rows.reserve(std::size(kTasks));
+  for (const TaskSpec& task : kTasks) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < cfg.trials; ++t) {
+      const std::uint64_t seed =
+          num::split_seed(cfg.seed, std::hash<std::string>{}(task.name) +
+                                        t * 977);
+      switch (task.kind) {
+        case TaskSpec::kNeedle:
+          acc += needle_instance(cfg, task.seq_len, task.depth, seed);
+          break;
+        case TaskSpec::kChain2:
+          acc += chain2_instance(cfg, task.seq_len, seed);
+          break;
+        case TaskSpec::kAggregation:
+          acc += aggregation_instance(cfg, task.seq_len, task.sites, seed);
+          break;
+        case TaskSpec::kLocal:
+          acc += local_instance(cfg, task.seq_len, seed);
+          break;
+      }
+    }
+    rows.push_back(
+        {task.name, 100.0 * acc / static_cast<double>(cfg.trials)});
+  }
+  return rows;
+}
+
+double longbench_average(const std::vector<LongBenchRow>& rows) {
+  if (rows.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& row : rows) s += row.score;
+  return s / static_cast<double>(rows.size());
+}
+
+}  // namespace lserve::eval

@@ -1,0 +1,74 @@
+// Single-head attention probes and accuracy metrics.
+//
+// Accuracy experiments run at the attention-subsystem level: a planted
+// TokenStream is written into a real paged cache, a probe query is issued
+// through the policy under test (dense / flat selection / hierarchical
+// selection / streaming), and the retrieved output is scored against the
+// planted ground truth. This exercises the exact mechanism the paper's
+// accuracy figures probe — whether a sparsity policy keeps the pages that
+// matter — without model weights (DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kv/kv_cache.hpp"
+#include "kv/page_allocator.hpp"
+#include "kv/two_way_cache.hpp"
+#include "model/workload.hpp"
+#include "sparse/quest_selector.hpp"
+
+namespace lserve::eval {
+
+/// Appends every token of `stream` into `head`.
+void fill_head_cache(kv::PageAllocator& alloc, kv::HeadCache& head,
+                     const model::TokenStream& stream);
+
+/// Which single-head attention pathway a probe exercises.
+enum class PolicyKind {
+  kDense = 0,       ///< full history (oracle / vLLM-like).
+  kFlatSelect = 1,  ///< Quest-style page-level min/max selection.
+  kHierSelect = 2,  ///< LServe hierarchical logical-page selection.
+  kStreaming = 3,   ///< Λ mask: sink + local pages only.
+};
+
+/// Probe policy description.
+struct ProbePolicy {
+  PolicyKind kind = PolicyKind::kDense;
+  sparse::PageSelectorConfig selector;  ///< for kFlatSelect/kHierSelect.
+  std::size_t sink_tokens = 64;         ///< for kStreaming.
+  std::size_t local_tokens = 256;
+};
+
+/// Builds the pruned page table the policy would attend over (the
+/// selector's output; exposed so reuse experiments can hold it stale).
+kv::SelectedPageTable policy_table(const kv::PageAllocator& alloc,
+                                   const kv::HeadCache& head, const float* q,
+                                   const ProbePolicy& policy);
+
+/// Runs one decode-attention probe against the filled cache.
+std::vector<float> run_probe(const kv::PageAllocator& alloc,
+                             const kv::HeadCache& head, const float* q,
+                             const ProbePolicy& policy);
+
+/// Probe with an externally-supplied (possibly stale) page table.
+std::vector<float> run_probe_on_table(const kv::PageAllocator& alloc,
+                                      const kv::HeadCache& head,
+                                      const kv::SelectedPageTable& table,
+                                      const float* q);
+
+/// Number of pages the policy visited for this cache state (work proxy).
+std::size_t probe_pages_visited(const kv::PageAllocator& alloc,
+                                const kv::HeadCache& head, const float* q,
+                                const ProbePolicy& policy);
+
+/// Retrieval accuracy in [0,1]: cosine similarity of the retrieved output
+/// with the planted target, clamped at 0.
+float retrieval_accuracy(std::span<const float> out,
+                         std::span<const float> target);
+
+/// Mean of a vector (convenience for reporting).
+double mean(std::span<const double> xs);
+
+}  // namespace lserve::eval

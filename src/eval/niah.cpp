@@ -1,0 +1,84 @@
+#include "eval/niah.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/rng.hpp"
+
+namespace lserve::eval {
+
+double NiahResult::mean_accuracy() const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& row : accuracy) {
+    for (double a : row) {
+      s += a;
+      ++n;
+    }
+  }
+  return n > 0 ? s / static_cast<double>(n) : 0.0;
+}
+
+std::string NiahResult::ascii_heatmap() const {
+  std::string out;
+  for (std::size_t li = 0; li < accuracy.size(); ++li) {
+    out += "  ";
+    for (double a : accuracy[li]) {
+      out += a >= 0.9 ? '#' : a >= 0.7 ? '+' : a >= 0.4 ? '-' : '.';
+    }
+    out += "  (";
+    out += std::to_string(lengths[li]);
+    out += " tokens)\n";
+  }
+  return out;
+}
+
+NiahResult run_niah(const NiahConfig& cfg) {
+  NiahResult result;
+  result.lengths = cfg.lengths;
+  result.depths = cfg.depths;
+  result.accuracy.resize(cfg.lengths.size());
+
+  for (std::size_t li = 0; li < cfg.lengths.size(); ++li) {
+    const std::size_t n = cfg.lengths[li];
+    result.accuracy[li].resize(cfg.depths.size());
+    for (std::size_t di = 0; di < cfg.depths.size(); ++di) {
+      const std::uint64_t cell_seed =
+          num::split_seed(cfg.seed, li * 1000 + di);
+
+      const float strength =
+          cfg.needle_strength > 0.0f
+              ? cfg.needle_strength
+              : model::salient_strength(n, cfg.head_dim);
+      model::StreamConfig sc;
+      sc.n_tokens = n;
+      sc.head_dim = cfg.head_dim;
+      sc.seed = cell_seed;
+      sc.distractor_rate = cfg.distractor_rate;
+      sc.distractor_strength = cfg.distractor_strength_frac * strength;
+      model::TokenStream stream = model::smooth_stream(sc);
+
+      const std::size_t pos = std::min<std::size_t>(
+          n - 1, static_cast<std::size_t>(cfg.depths[di] *
+                                          static_cast<double>(n - 1)));
+      const model::Needle needle =
+          model::plant_needle(stream, pos, strength, cell_seed + 1);
+      const std::vector<float> q = model::probe_query(
+          needle, strength, cfg.probe_noise, cell_seed + 2);
+
+      kv::PageConfig pages = cfg.pages;
+      pages.head_dim = cfg.head_dim;
+      kv::PageAllocator alloc(pages, n / pages.page_size + 2);
+      kv::HeadCache head;
+      fill_head_cache(alloc, head, stream);
+
+      const std::vector<float> out = run_probe(alloc, head, q.data(),
+                                               cfg.policy);
+      result.accuracy[li][di] =
+          retrieval_accuracy(out, needle.payload);
+    }
+  }
+  return result;
+}
+
+}  // namespace lserve::eval

@@ -1,0 +1,56 @@
+// Needle-in-a-Haystack (NIAH) pressure test over planted streams.
+//
+// Reproduces the paper's NIAH grids (Figs 6, 9, 13): for every
+// (context length, needle depth) cell, a needle is planted, the stream is
+// written into a paged cache at the configured page geometry and KV
+// precision, and the policy under test answers a needle-aligned probe.
+// Cell accuracy is the clamped cosine of the retrieved output with the
+// planted payload; the dense policy defines the ceiling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "kv/page.hpp"
+
+namespace lserve::eval {
+
+/// Grid + cache geometry for a NIAH sweep.
+struct NiahConfig {
+  std::vector<std::size_t> lengths{8192, 16384, 32768, 65536};
+  std::vector<double> depths{0.0, 0.11, 0.22, 0.33, 0.44,
+                             0.56, 0.67, 0.78, 0.89};
+  std::size_t head_dim = 64;
+  kv::PageConfig pages;       ///< NP/NL/dtype under test.
+  ProbePolicy policy;         ///< pathway under test.
+  /// Needle/probe strength; <= 0 selects model::salient_strength(len, dim)
+  /// so the needle dominates the softmax at every context length.
+  float needle_strength = 0.0f;
+  float probe_noise = 0.05f;
+  /// Distractor density / relative strength (see model::StreamConfig).
+  /// Calibrated so the page-size dilemma emerges exactly as in Fig 6:
+  /// flat selection is lossless at 16-token pages, degraded at 64-token
+  /// pages, while hierarchical NP=64/NL=16 recovers (Fig 13).
+  float distractor_rate = 0.15f;
+  float distractor_strength_frac = 0.9f;
+  std::uint64_t seed = 7;
+};
+
+/// Result grid: accuracy[length_idx][depth_idx] in [0,1].
+struct NiahResult {
+  std::vector<std::size_t> lengths;
+  std::vector<double> depths;
+  std::vector<std::vector<double>> accuracy;
+
+  double mean_accuracy() const;
+  /// Paper-style heatmap rows rendered as ASCII (one char per cell:
+  /// '#'>=0.9, '+'>=0.7, '-'>=0.4, '.'<0.4).
+  std::string ascii_heatmap() const;
+};
+
+/// Runs the sweep.
+NiahResult run_niah(const NiahConfig& cfg);
+
+}  // namespace lserve::eval

@@ -1,0 +1,246 @@
+#include "eval/ruler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/math.hpp"
+#include "numeric/rng.hpp"
+
+namespace lserve::eval {
+namespace {
+
+struct CacheFixture {
+  kv::PageAllocator alloc;
+  kv::HeadCache head;
+
+  CacheFixture(const kv::PageConfig& pages, std::size_t n)
+      : alloc(pages, n / pages.page_size + 2) {}
+};
+
+std::vector<std::size_t> spread_positions(std::size_t count, std::size_t n,
+                                          num::Rng& rng) {
+  // Evenly spaced with jitter; avoids the always-kept first/last pages so
+  // the selector is actually tested.
+  std::vector<std::size_t> pos(count);
+  const std::size_t lo = n / 16;
+  const std::size_t hi = n - n / 16;
+  const std::size_t span = (hi - lo) / std::max<std::size_t>(1, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pos[i] = lo + i * span + rng.next_below(std::max<std::size_t>(1, span / 2));
+    pos[i] = std::min(pos[i], n - 2);
+  }
+  return pos;
+}
+
+float resolved_strength(const RulerConfig& cfg) {
+  return cfg.strength > 0.0f
+             ? cfg.strength
+             : model::salient_strength(cfg.seq_len, cfg.head_dim);
+}
+
+double retrieval_task(const RulerConfig& cfg, std::uint64_t seed) {
+  const float strength = resolved_strength(cfg);
+  model::StreamConfig sc;
+  sc.n_tokens = cfg.seq_len;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  num::Rng rng(seed);
+  const auto positions =
+      spread_positions(cfg.retrieval_needles, cfg.seq_len, rng);
+  std::vector<model::Needle> needles;
+  needles.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    needles.push_back(model::plant_needle(stream, positions[i], strength,
+                                          num::split_seed(seed, 100 + i)));
+  }
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  CacheFixture fix(pages, cfg.seq_len);
+  fill_head_cache(fix.alloc, fix.head, stream);
+
+  double acc = 0.0;
+  for (std::size_t i = 0; i < needles.size(); ++i) {
+    const auto q = model::probe_query(needles[i], strength, 0.05f,
+                                      num::split_seed(seed, 200 + i));
+    const auto out = run_probe(fix.alloc, fix.head, q.data(), cfg.policy);
+    acc += retrieval_accuracy(out, needles[i].payload);
+  }
+  return acc / static_cast<double>(needles.size());
+}
+
+double multi_hop_task(const RulerConfig& cfg, std::uint64_t seed) {
+  const float strength = resolved_strength(cfg);
+  model::StreamConfig sc;
+  sc.n_tokens = cfg.seq_len;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  num::Rng rng(seed + 1);
+  const auto positions = spread_positions(cfg.hops, cfg.seq_len, rng);
+  const auto chain =
+      model::plant_chain(stream, positions, strength, seed + 2);
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  CacheFixture fix(pages, cfg.seq_len);
+  fill_head_cache(fix.alloc, fix.head, stream);
+
+  // Pointer chase: each hop's retrieved value, renormalized, is the next
+  // query direction. Errors compound across hops as in RULER tracing.
+  std::vector<float> q =
+      model::probe_query(chain.front(), strength, 0.05f, seed + 3);
+  std::vector<float> out;
+  for (std::size_t hop = 0; hop < chain.size(); ++hop) {
+    out = run_probe(fix.alloc, fix.head, q.data(), cfg.policy);
+    const float norm = num::l2_norm(out.data(), out.size());
+    if (norm < 1e-9f) break;
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      q[c] = strength * out[c] / norm;
+    }
+  }
+  return retrieval_accuracy(out, chain.back().payload);
+}
+
+double aggregation_task(const RulerConfig& cfg, std::uint64_t seed) {
+  const float strength = resolved_strength(cfg);
+  model::StreamConfig sc;
+  sc.n_tokens = cfg.seq_len;
+  sc.head_dim = cfg.head_dim;
+  sc.seed = seed;
+  sc.distractor_rate = cfg.distractor_rate;
+  sc.distractor_strength = cfg.distractor_strength_frac * strength;
+  model::TokenStream stream = model::smooth_stream(sc);
+  num::Rng rng(seed + 5);
+  const auto positions =
+      spread_positions(cfg.aggregation_sites, cfg.seq_len, rng);
+  const auto plant =
+      model::plant_aggregation(stream, positions, strength, seed + 6);
+
+  kv::PageConfig pages = cfg.pages;
+  pages.head_dim = cfg.head_dim;
+  CacheFixture fix(pages, cfg.seq_len);
+  fill_head_cache(fix.alloc, fix.head, stream);
+
+  std::vector<float> q(cfg.head_dim);
+  for (std::size_t c = 0; c < cfg.head_dim; ++c) {
+    q[c] = strength * plant.direction[c];
+  }
+  const auto out = run_probe(fix.alloc, fix.head, q.data(), cfg.policy);
+
+  // Ground truth: softmax over equal-score sites = payload mean.
+  std::vector<float> target(cfg.head_dim, 0.0f);
+  for (const auto& payload : plant.payloads) {
+    num::axpy(1.0f / static_cast<float>(plant.payloads.size()),
+              payload.data(), target.data(), cfg.head_dim);
+  }
+  return retrieval_accuracy(out, target);
+}
+
+}  // namespace
+
+RulerResult run_ruler(const RulerConfig& cfg) {
+  RulerResult r;
+  for (std::size_t t = 0; t < cfg.trials; ++t) {
+    const std::uint64_t seed = num::split_seed(cfg.seed, t);
+    r.retrieval += retrieval_task(cfg, seed);
+    r.multi_hop += multi_hop_task(cfg, seed);
+    r.aggregation += aggregation_task(cfg, seed);
+  }
+  const double scale = 100.0 / static_cast<double>(cfg.trials);
+  r.retrieval *= scale;
+  r.multi_hop *= scale;
+  r.aggregation *= scale;
+  return r;
+}
+
+double run_tracking(const RulerConfig& cfg, std::size_t steps) {
+  double total = 0.0;
+  const float strength = resolved_strength(cfg);
+  // Key direction drifts slowly (queries stay similar step over step);
+  // payloads decorrelate ~2.5x faster so that attending to a STALE page
+  // yields a visibly wrong answer. Both rates are per decode step.
+  const float theta_key = 0.12f;
+  const float theta_payload = 0.30f;
+  for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+    const std::uint64_t seed = num::split_seed(cfg.seed, 900 + trial);
+    model::StreamConfig sc;
+    sc.n_tokens = cfg.seq_len;
+    sc.head_dim = cfg.head_dim;
+    sc.seed = seed;
+    // Distractor competition is what makes stale (low-alignment) pages
+    // lose their selector rank; without it any salient page stays in the
+    // top-K forever and reuse would look free at every interval.
+    sc.distractor_rate = 0.05f;
+    sc.distractor_strength = 0.8f * strength;
+    model::TokenStream stream = model::smooth_stream(sc);
+
+    // A drifting target: one needle per PHYSICAL page, whose key direction
+    // and value payload both rotate slowly step over step. Consecutive
+    // queries are therefore similar (the temporal locality Reusable Page
+    // Selection exploits), but a table refreshed at step t0 mis-ranks the
+    // pages needed around step t0 + C once the drift angle has grown.
+    num::Rng rng(seed + 1);
+    auto rotate_unit = [&](std::vector<float>& v, float theta) {
+      const std::vector<float> fresh = rng.unit_vector(v.size());
+      for (std::size_t c = 0; c < v.size(); ++c) {
+        v[c] = std::cos(theta) * v[c] + std::sin(theta) * fresh[c];
+      }
+      const float norm = num::l2_norm(v.data(), v.size());
+      for (auto& x : v) x /= norm;
+    };
+
+    const std::size_t page = cfg.pages.page_size;
+    const std::size_t base = cfg.seq_len / 3;
+    std::vector<model::Needle> targets;
+    targets.reserve(steps);
+    std::vector<float> dir = rng.unit_vector(cfg.head_dim);
+    std::vector<float> payload = rng.unit_vector(cfg.head_dim);
+    for (std::size_t t = 0; t < steps; ++t) {
+      model::Needle needle;
+      needle.pos = std::min(base + t * page, cfg.seq_len - 2);
+      needle.direction = dir;
+      needle.payload = payload;
+      float* key = stream.keys.row(needle.pos);
+      float* val = stream.values.row(needle.pos);
+      for (std::size_t c = 0; c < cfg.head_dim; ++c) {
+        key[c] = strength * dir[c];
+        val[c] = payload[c];
+      }
+      targets.push_back(std::move(needle));
+      rotate_unit(dir, theta_key);
+      rotate_unit(payload, theta_payload);
+    }
+
+    kv::PageConfig pages = cfg.pages;
+    pages.head_dim = cfg.head_dim;
+    CacheFixture fix(pages, cfg.seq_len);
+    fill_head_cache(fix.alloc, fix.head, stream);
+
+    // Decode loop with stale tables between chunk boundaries.
+    kv::SelectedPageTable table;
+    double acc = 0.0;
+    const std::size_t interval = std::max<std::size_t>(1, cfg.reuse_interval);
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::vector<float> q(cfg.head_dim);
+      for (std::size_t c = 0; c < cfg.head_dim; ++c) {
+        q[c] = strength * targets[t].direction[c];
+      }
+      if (t % interval == 0) {
+        table = policy_table(fix.alloc, fix.head, q.data(), cfg.policy);
+      }
+      const auto out = run_probe_on_table(fix.alloc, fix.head, table,
+                                          q.data());
+      acc += retrieval_accuracy(out, targets[t].payload);
+    }
+    total += acc / static_cast<double>(steps);
+  }
+  return 100.0 * total / static_cast<double>(cfg.trials);
+}
+
+}  // namespace lserve::eval

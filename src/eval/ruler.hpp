@@ -1,0 +1,67 @@
+// RULER-proxy: retrieval, multi-hop tracing and aggregation tasks over
+// planted streams (Table 3 / Table 6 substitute).
+//
+// RULER stresses behaviours beyond single-needle search; the proxies here
+// exercise the same failure modes of sparse policies:
+//   * retrieval    — k independent needles, each probed (misses = dropped
+//                    needle pages);
+//   * multi_hop    — pointer chase where hop i's retrieved VALUE is hop
+//                    i+1's query (errors compound, as in RULER's
+//                    variable-tracking);
+//   * aggregation  — many relevant sites whose answers must all be kept
+//                    (punishes over-pruning even when each site is "easy").
+// The composite score is the mean over tasks, scaled to 0-100 like RULER.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "kv/page.hpp"
+
+namespace lserve::eval {
+
+/// One RULER-proxy run's configuration.
+struct RulerConfig {
+  std::size_t seq_len = 65536;
+  std::size_t head_dim = 64;
+  kv::PageConfig pages;
+  ProbePolicy policy;
+  std::size_t retrieval_needles = 4;
+  std::size_t hops = 3;
+  std::size_t aggregation_sites = 8;
+  /// Planted-signal strength; <= 0 selects model::salient_strength.
+  float strength = 0.0f;
+  /// Distractor competition (see model::StreamConfig): makes selection
+  /// non-trivial so sparse-vs-dense deltas are informative.
+  float distractor_rate = 0.10f;
+  float distractor_strength_frac = 0.85f;
+  std::size_t trials = 3;           ///< independent seeds averaged.
+  std::size_t reuse_interval = 1;   ///< selector reuse chunk (Table 6).
+  std::uint64_t seed = 11;
+};
+
+/// Per-task and composite scores, 0-100.
+struct RulerResult {
+  double retrieval = 0.0;
+  double multi_hop = 0.0;
+  double aggregation = 0.0;
+  double composite() const {
+    return (retrieval + multi_hop + aggregation) / 3.0;
+  }
+};
+
+/// Runs the three proxy tasks.
+RulerResult run_ruler(const RulerConfig& cfg);
+
+/// Reuse-sensitivity tracking task (Table 6 substitute): a query target
+/// drifts slowly through the context over `steps` decode steps; the page
+/// selection is refreshed only every cfg.reuse_interval steps (stale
+/// tables in between, exactly the ReusableSelector semantics). Returns
+/// mean per-step retrieval accuracy, 0-100. Accuracy stays flat while the
+/// drift within a chunk remains inside the selected pages and degrades for
+/// large intervals.
+double run_tracking(const RulerConfig& cfg, std::size_t steps = 48);
+
+}  // namespace lserve::eval

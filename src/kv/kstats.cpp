@@ -1,0 +1,50 @@
+#include "kv/kstats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lserve::kv {
+
+KStats::KStats(std::size_t logical_pages, std::size_t head_dim)
+    : logical_pages_(logical_pages),
+      head_dim_(head_dim),
+      kmin_(logical_pages * head_dim, 0.0f),
+      kmax_(logical_pages * head_dim, 0.0f),
+      init_(logical_pages, 0) {}
+
+void KStats::update(std::size_t slot, std::size_t logical_page_size,
+                    const float* key) noexcept {
+  const std::size_t j = slot / logical_page_size;
+  assert(j < logical_pages_);
+  float* mn = kmin_.data() + j * head_dim_;
+  float* mx = kmax_.data() + j * head_dim_;
+  if (!init_[j]) {
+    std::copy(key, key + head_dim_, mn);
+    std::copy(key, key + head_dim_, mx);
+    init_[j] = 1;
+    return;
+  }
+  for (std::size_t i = 0; i < head_dim_; ++i) {
+    mn[i] = std::min(mn[i], key[i]);
+    mx[i] = std::max(mx[i], key[i]);
+  }
+}
+
+void KStats::reset() noexcept {
+  std::fill(init_.begin(), init_.end(), 0);
+  std::fill(kmin_.begin(), kmin_.end(), 0.0f);
+  std::fill(kmax_.begin(), kmax_.end(), 0.0f);
+}
+
+float logical_page_score(const float* q, const float* kmax, const float* kmin,
+                         std::size_t head_dim) noexcept {
+  float s = 0.0f;
+  for (std::size_t i = 0; i < head_dim; ++i) {
+    const float a = q[i] * kmax[i];
+    const float b = q[i] * kmin[i];
+    s += a > b ? a : b;
+  }
+  return s;
+}
+
+}  // namespace lserve::kv

@@ -1,0 +1,68 @@
+// Per-logical-page key statistics ("K_stats" in LServe Fig 5/7).
+//
+// For every logical page of NL consecutive tokens we keep the channel-wise
+// minimum and maximum of the (post-RoPE) keys. These representative vectors
+// are what the hierarchical page selector scores against the query:
+//   S_j = sum_i max(q[i] * kmax_j[i], q[i] * kmin_j[i])
+// which upper-bounds the true maximum dot product q.k over tokens in the
+// page (Quest's criticality estimator). Stats are appended incrementally as
+// tokens are written, so prefill pooling is a fold over appends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lserve::kv {
+
+/// Channel-wise min/max key statistics for the logical pages of one
+/// physical page.
+class KStats {
+ public:
+  KStats() = default;
+
+  /// `logical_pages` = NP / NL entries, each of `head_dim` channels.
+  KStats(std::size_t logical_pages, std::size_t head_dim);
+
+  std::size_t logical_pages() const noexcept { return logical_pages_; }
+  std::size_t head_dim() const noexcept { return head_dim_; }
+
+  /// Folds the key of the token at in-page slot `slot` into the stats of
+  /// the logical page that owns that slot (`slot / logical_page_size`).
+  void update(std::size_t slot, std::size_t logical_page_size,
+              const float* key) noexcept;
+
+  /// kmax vector of logical page j (length head_dim).
+  const float* kmax(std::size_t j) const noexcept {
+    return kmax_.data() + j * head_dim_;
+  }
+  /// kmin vector of logical page j.
+  const float* kmin(std::size_t j) const noexcept {
+    return kmin_.data() + j * head_dim_;
+  }
+
+  /// True if logical page j has received at least one token.
+  bool initialized(std::size_t j) const noexcept { return init_[j] != 0; }
+
+  void reset() noexcept;
+
+  /// Device bytes for the stats block (2 fp16 vectors per logical page).
+  double device_bytes() const noexcept {
+    return 2.0 * 2.0 * static_cast<double>(logical_pages_ * head_dim_);
+  }
+
+ private:
+  std::size_t logical_pages_ = 0;
+  std::size_t head_dim_ = 0;
+  std::vector<float> kmin_;
+  std::vector<float> kmax_;
+  std::vector<std::uint8_t> init_;
+};
+
+/// Query-centric importance score of one logical page:
+/// sum_i max(q[i]*kmax[i], q[i]*kmin[i]). This is an upper bound on
+/// max_{token t in page} q . k_t (see tests/sparse for the property test).
+float logical_page_score(const float* q, const float* kmax, const float* kmin,
+                         std::size_t head_dim) noexcept;
+
+}  // namespace lserve::kv

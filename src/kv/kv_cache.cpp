@@ -1,0 +1,40 @@
+#include "kv/kv_cache.hpp"
+
+#include <cassert>
+
+namespace lserve::kv {
+
+void HeadCache::append(PageAllocator& alloc, const float* key,
+                       const float* value) {
+  const std::size_t page_size = alloc.config().page_size;
+  if (tokens_ % page_size == 0) {
+    pages_.push_back(alloc.allocate());
+  }
+  Page& page = alloc.get(pages_.back());
+  const std::size_t slot = page.append(key, value);
+  assert(slot == tokens_ % page_size);
+  (void)slot;
+  ++tokens_;
+}
+
+void HeadCache::load_key(const PageAllocator& alloc, std::size_t t,
+                         float* out) const {
+  assert(t < tokens_);
+  const std::size_t page_size = alloc.config().page_size;
+  alloc.get(pages_[t / page_size]).load_key(t % page_size, out);
+}
+
+void HeadCache::load_value(const PageAllocator& alloc, std::size_t t,
+                           float* out) const {
+  assert(t < tokens_);
+  const std::size_t page_size = alloc.config().page_size;
+  alloc.get(pages_[t / page_size]).load_value(t % page_size, out);
+}
+
+void HeadCache::release(PageAllocator& alloc) noexcept {
+  for (PageId id : pages_) alloc.free(id);
+  pages_.clear();
+  tokens_ = 0;
+}
+
+}  // namespace lserve::kv

@@ -1,0 +1,68 @@
+// Per-sequence paged KV cache for dense (retrieval) heads.
+//
+// HeadCache owns the page list of one (layer, kv-head); SequenceKvCache is
+// the [layers x kv_heads] grid of them. Pages come from a shared
+// PageAllocator so multiple sequences can coexist in one pool, as in a real
+// serving engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kv/page_allocator.hpp"
+#include "kv/page_table.hpp"
+
+namespace lserve::kv {
+
+/// Paged KV storage of one attention (kv-)head for one sequence.
+class HeadCache {
+ public:
+  /// Appends one token's key/value; allocates a new page on block boundary.
+  void append(PageAllocator& alloc, const float* key, const float* value);
+
+  /// Dequantizes the key / value of absolute token `t` (0-based).
+  void load_key(const PageAllocator& alloc, std::size_t t, float* out) const;
+  void load_value(const PageAllocator& alloc, std::size_t t, float* out) const;
+
+  std::size_t tokens() const noexcept { return tokens_; }
+  std::size_t num_pages() const noexcept { return pages_.size(); }
+
+  PageTableView view(const PageAllocator& alloc) const noexcept {
+    return {pages_, tokens_, alloc.config().page_size};
+  }
+
+  /// Frees all pages back to the allocator.
+  void release(PageAllocator& alloc) noexcept;
+
+ private:
+  std::vector<PageId> pages_;
+  std::size_t tokens_ = 0;
+};
+
+/// The full [layers x kv_heads] KV cache of one sequence (dense heads).
+class SequenceKvCache {
+ public:
+  SequenceKvCache(std::size_t layers, std::size_t kv_heads)
+      : layers_(layers), kv_heads_(kv_heads), heads_(layers * kv_heads) {}
+
+  HeadCache& head(std::size_t layer, std::size_t h) noexcept {
+    return heads_[layer * kv_heads_ + h];
+  }
+  const HeadCache& head(std::size_t layer, std::size_t h) const noexcept {
+    return heads_[layer * kv_heads_ + h];
+  }
+
+  std::size_t layers() const noexcept { return layers_; }
+  std::size_t kv_heads() const noexcept { return kv_heads_; }
+
+  void release(PageAllocator& alloc) noexcept {
+    for (auto& h : heads_) h.release(alloc);
+  }
+
+ private:
+  std::size_t layers_;
+  std::size_t kv_heads_;
+  std::vector<HeadCache> heads_;
+};
+
+}  // namespace lserve::kv

@@ -1,0 +1,60 @@
+#include "kv/page.hpp"
+
+#include <cassert>
+
+namespace lserve::kv {
+
+void Page::init(const PageConfig& cfg) {
+  assert(cfg.valid());
+  cfg_ = cfg;
+  initialized_ = true;
+  count_ = 0;
+  keys_ = num::QuantizedRows(cfg.page_size, cfg.head_dim, cfg.dtype);
+  values_ = num::QuantizedRows(cfg.page_size, cfg.head_dim, cfg.dtype);
+  if (cfg.track_kstats) {
+    stats_ = KStats(cfg.logical_pages(), cfg.head_dim);
+  }
+}
+
+void Page::reset() noexcept {
+  count_ = 0;
+  stats_.reset();
+}
+
+std::size_t Page::append(const float* key, const float* value) noexcept {
+  assert(!full());
+  const std::size_t slot = count_++;
+  keys_.store_row(slot, key);
+  values_.store_row(slot, value);
+  if (cfg_.track_kstats) {
+    // Stats fold the *quantized* key so selector decisions match what the
+    // sparse kernel will actually read back.
+    if (cfg_.dtype == num::KvDtype::kFp16) {
+      stats_.update(slot, cfg_.logical_page_size, key);
+    } else {
+      float deq[1024];
+      assert(cfg_.head_dim <= 1024);
+      keys_.load_row(slot, deq);
+      stats_.update(slot, cfg_.logical_page_size, deq);
+    }
+  }
+  return slot;
+}
+
+void Page::load_key(std::size_t slot, float* out) const noexcept {
+  assert(slot < count_);
+  keys_.load_row(slot, out);
+}
+
+void Page::load_value(std::size_t slot, float* out) const noexcept {
+  assert(slot < count_);
+  values_.load_row(slot, out);
+}
+
+double Page::device_bytes() const noexcept {
+  double b = keys_.device_bytes() + values_.device_bytes();
+  if (cfg_.track_kstats) b += stats_.device_bytes();
+  return b;
+}
+
+}  // namespace lserve::kv

@@ -1,0 +1,57 @@
+#include "kv/page_allocator.hpp"
+
+#include <cassert>
+
+namespace lserve::kv {
+
+PageAllocator::PageAllocator(PageConfig cfg, std::size_t capacity)
+    : cfg_(cfg) {
+  assert(cfg.valid());
+  pool_.resize(capacity);
+  live_.assign(capacity, 0);
+  free_list_.reserve(capacity);
+  // LIFO order: page 0 is handed out first.
+  for (std::size_t i = capacity; i > 0; --i) {
+    free_list_.push_back(static_cast<PageId>(i - 1));
+  }
+}
+
+PageId PageAllocator::allocate() {
+  if (free_list_.empty()) {
+    const PageId id = static_cast<PageId>(pool_.size());
+    pool_.emplace_back();
+    live_.push_back(0);
+    free_list_.push_back(id);
+  }
+  const PageId id = free_list_.back();
+  free_list_.pop_back();
+  Page& page = pool_[id];
+  if (!page.initialized()) {
+    page.init(cfg_);
+  } else {
+    page.reset();
+  }
+  assert(!live_[id] && "allocating a live page");
+  live_[id] = 1;
+  ++in_use_;
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
+  return id;
+}
+
+void PageAllocator::free(PageId id) noexcept {
+  assert(id < pool_.size());
+  assert(live_[id] && "double free of a KV page");
+  live_[id] = 0;
+  --in_use_;
+  free_list_.push_back(id);
+}
+
+double PageAllocator::device_bytes_in_use() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (live_[i]) total += pool_[i].device_bytes();
+  }
+  return total;
+}
+
+}  // namespace lserve::kv

@@ -1,0 +1,50 @@
+// Pool allocator for physical KV pages.
+//
+// Mirrors vLLM's block manager: a fixed-capacity pool of uniform pages plus
+// a LIFO free list. Sequences hold PageIds, never pointers, so page tables
+// stay trivially copyable — the property that makes selector output ("a
+// shorter page table") cheap to build every decode step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kv/page.hpp"
+
+namespace lserve::kv {
+
+/// Fixed-config page pool with O(1) allocate/free.
+class PageAllocator {
+ public:
+  /// `capacity` pages are reserved up front; storage inside each page is
+  /// initialized lazily on first allocation.
+  PageAllocator(PageConfig cfg, std::size_t capacity);
+
+  /// Allocates a page; grows the pool if the free list is exhausted.
+  PageId allocate();
+
+  /// Returns a page to the free list. Double-free is a programming error
+  /// (checked in debug builds).
+  void free(PageId id) noexcept;
+
+  Page& get(PageId id) noexcept { return pool_[id]; }
+  const Page& get(PageId id) const noexcept { return pool_[id]; }
+
+  const PageConfig& config() const noexcept { return cfg_; }
+  std::size_t capacity() const noexcept { return pool_.size(); }
+  std::size_t pages_in_use() const noexcept { return in_use_; }
+  std::size_t peak_pages_in_use() const noexcept { return peak_in_use_; }
+
+  /// Total device bytes of pages currently in use.
+  double device_bytes_in_use() const noexcept;
+
+ private:
+  PageConfig cfg_;
+  std::vector<Page> pool_;
+  std::vector<PageId> free_list_;
+  std::vector<std::uint8_t> live_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_in_use_ = 0;
+};
+
+}  // namespace lserve::kv

@@ -1,0 +1,21 @@
+#include "kv/page_table.hpp"
+
+namespace lserve::kv {
+
+SelectedPageTable full_page_table(const PageTableView& view) {
+  SelectedPageTable table;
+  table.reserve(view.pages.size());
+  for (std::size_t b = 0; b < view.pages.size(); ++b) {
+    table.push_back({view.pages[b], static_cast<std::uint32_t>(b)});
+  }
+  return table;
+}
+
+std::size_t selected_tokens(const SelectedPageTable& table,
+                            const PageTableView& view) {
+  std::size_t total = 0;
+  for (const auto& entry : table) total += view.block_tokens(entry.block);
+  return total;
+}
+
+}  // namespace lserve::kv

@@ -1,0 +1,131 @@
+#include "kv/two_way_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lserve::kv {
+
+void StreamingHeadCache::append(PageAllocator& alloc,
+                                const StreamingConfig& cfg, const float* key,
+                                const float* value) {
+  const std::size_t page_size = alloc.config().page_size;
+  const std::size_t sink_blocks =
+      (cfg.sink_tokens + page_size - 1) / page_size;
+  const std::uint32_t block = static_cast<std::uint32_t>(tokens_ / page_size);
+
+  if (tokens_ % page_size == 0) {
+    const PageId id = alloc.allocate();
+    if (block < sink_blocks) {
+      sink_pages_.push_back(id);
+    } else {
+      local_pages_.push_back({block, id});
+    }
+  }
+
+  Page* page = nullptr;
+  if (block < sink_blocks) {
+    page = &alloc.get(sink_pages_[block]);
+  } else {
+    page = &alloc.get(local_pages_.back().page);
+  }
+  page->append(key, value);
+  ++tokens_;
+
+  // Evict local pages whose entire block now precedes the local window.
+  // Block b covers tokens [b*NP, (b+1)*NP); it is dead once its last token
+  // is older than tokens_ - local_tokens.
+  while (!local_pages_.empty()) {
+    const LocalPage& oldest = local_pages_.front();
+    const std::size_t block_end =
+        (static_cast<std::size_t>(oldest.block) + 1) * page_size;
+    if (tokens_ >= cfg.local_tokens + block_end) {
+      alloc.free(oldest.page);
+      local_pages_.pop_front();
+    } else {
+      break;
+    }
+  }
+}
+
+SelectedPageTable StreamingHeadCache::index_table() const {
+  SelectedPageTable table;
+  table.reserve(sink_pages_.size() + local_pages_.size());
+  for (std::size_t b = 0; b < sink_pages_.size(); ++b) {
+    table.push_back({sink_pages_[b], static_cast<std::uint32_t>(b)});
+  }
+  for (const LocalPage& lp : local_pages_) {
+    // A sink block can also be the newest local block early in a sequence;
+    // blocks are disjoint by construction so no dedup is needed.
+    table.push_back({lp.page, lp.block});
+  }
+  return table;
+}
+
+void StreamingHeadCache::release(PageAllocator& alloc) noexcept {
+  for (PageId id : sink_pages_) alloc.free(id);
+  for (const LocalPage& lp : local_pages_) alloc.free(lp.page);
+  sink_pages_.clear();
+  local_pages_.clear();
+  tokens_ = 0;
+}
+
+TwoWayKvCache::TwoWayKvCache(std::size_t layers, std::size_t kv_heads,
+                             std::vector<HeadKind> kinds,
+                             StreamingConfig streaming_cfg)
+    : layers_(layers),
+      kv_heads_(kv_heads),
+      kinds_(std::move(kinds)),
+      streaming_cfg_(streaming_cfg),
+      dense_(layers * kv_heads),
+      streaming_(layers * kv_heads) {
+  assert(kinds_.size() == layers_ * kv_heads_);
+}
+
+void TwoWayKvCache::append(PageAllocator& dense_alloc,
+                           PageAllocator& stream_alloc, std::size_t layer,
+                           std::size_t h, const float* key,
+                           const float* value) {
+  const std::size_t idx = layer * kv_heads_ + h;
+  if (kinds_[idx] == HeadKind::kDense) {
+    dense_[idx].append(dense_alloc, key, value);
+  } else {
+    streaming_[idx].append(stream_alloc, streaming_cfg_, key, value);
+  }
+  // Count tokens once per model step: layer 0, head 0 is appended exactly
+  // once per token in every execution path.
+  if (layer == 0 && h == 0) ++tokens_seen_;
+}
+
+const HeadCache& TwoWayKvCache::dense_head(std::size_t layer,
+                                           std::size_t h) const {
+  const std::size_t idx = layer * kv_heads_ + h;
+  assert(kinds_[idx] == HeadKind::kDense);
+  return dense_[idx];
+}
+
+HeadCache& TwoWayKvCache::dense_head(std::size_t layer, std::size_t h) {
+  const std::size_t idx = layer * kv_heads_ + h;
+  assert(kinds_[idx] == HeadKind::kDense);
+  return dense_[idx];
+}
+
+const StreamingHeadCache& TwoWayKvCache::streaming_head(std::size_t layer,
+                                                        std::size_t h) const {
+  const std::size_t idx = layer * kv_heads_ + h;
+  assert(kinds_[idx] == HeadKind::kStreaming);
+  return streaming_[idx];
+}
+
+void TwoWayKvCache::release(PageAllocator& dense_alloc,
+                            PageAllocator& stream_alloc) {
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == HeadKind::kDense) {
+      dense_[i].release(dense_alloc);
+    } else {
+      streaming_[i].release(stream_alloc);
+    }
+  }
+  tokens_seen_ = 0;
+}
+
+}  // namespace lserve::kv

@@ -1,0 +1,154 @@
+#include "model/transformer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "numeric/math.hpp"
+#include "numeric/rng.hpp"
+
+namespace lserve::model {
+namespace {
+
+num::Tensor random_matrix(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+  num::Tensor t(rows, cols);
+  num::Rng rng(seed);
+  // Xavier-ish scale keeps activations bounded through deep stacks.
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(rows));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.gaussian(0.0f, stddev);
+  }
+  return t;
+}
+
+float silu(float x) noexcept { return x / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Transformer::Transformer(ModelConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rope_(cfg.head_dim, cfg.rope_base) {
+  const std::size_t h = cfg_.hidden();
+  const std::size_t kv = cfg_.kv_dim();
+  embedding_ = random_matrix(cfg_.vocab, h, num::split_seed(seed, 0));
+  layers_.reserve(cfg_.layers);
+  norm1_.resize(cfg_.layers);
+  norm2_.resize(cfg_.layers);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    LayerWeights w;
+    const std::uint64_t base = num::split_seed(seed, 16 + l * 8);
+    w.wq = random_matrix(h, h, base + 1);
+    w.wk = random_matrix(h, kv, base + 2);
+    w.wv = random_matrix(h, kv, base + 3);
+    w.wo = random_matrix(h, h, base + 4);
+    w.w_up = random_matrix(h, cfg_.ffn_hidden, base + 5);
+    w.w_gate = random_matrix(h, cfg_.ffn_hidden, base + 6);
+    w.w_down = random_matrix(cfg_.ffn_hidden, h, base + 7);
+    layers_.push_back(std::move(w));
+    norm1_[l].assign(h, 1.0f);
+    norm2_[l].assign(h, 1.0f);
+  }
+}
+
+num::Tensor Transformer::embed(std::span<const std::int32_t> ids) const {
+  num::Tensor out(ids.size(), cfg_.hidden());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto id = static_cast<std::size_t>(ids[i]) % cfg_.vocab;
+    const float* src = embedding_.row(id);
+    std::copy(src, src + cfg_.hidden(), out.row(i));
+  }
+  return out;
+}
+
+void Transformer::rms_norm(num::ConstMatView x, std::size_t layer,
+                           num::MatView out) const {
+  const std::size_t d = x.cols;
+  const std::vector<float>& gain = norm1_[layer];
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    const float* xi = x.row(i);
+    float ms = 0.0f;
+    for (std::size_t c = 0; c < d; ++c) ms += xi[c] * xi[c];
+    const float inv = 1.0f / std::sqrt(ms / static_cast<float>(d) + 1e-6f);
+    float* oi = out.row(i);
+    for (std::size_t c = 0; c < d; ++c) oi[c] = xi[c] * inv * gain[c];
+  }
+}
+
+void Transformer::qkv_project(num::ConstMatView normed, std::size_t layer,
+                              std::size_t pos0, num::MatView q,
+                              num::MatView k, num::MatView v) const {
+  const LayerWeights& w = layers_[layer];
+  num::matmul(normed, w.wq.view(), q);
+  num::matmul(normed, w.wk.view(), k);
+  num::matmul(normed, w.wv.view(), v);
+  // RoPE per head, at absolute positions.
+  for (std::size_t t = 0; t < q.rows; ++t) {
+    for (std::size_t h = 0; h < cfg_.q_heads; ++h) {
+      rope_.apply(q.row(t) + h * cfg_.head_dim, pos0 + t);
+    }
+    for (std::size_t h = 0; h < cfg_.kv_heads; ++h) {
+      rope_.apply(k.row(t) + h * cfg_.head_dim, pos0 + t);
+    }
+  }
+}
+
+void Transformer::output_project(num::ConstMatView attn_result,
+                                 std::size_t layer,
+                                 num::MatView hidden) const {
+  const LayerWeights& w = layers_[layer];
+  num::Tensor proj(attn_result.rows, hidden.cols);
+  num::matmul(attn_result, w.wo.view(), proj.view());
+  for (std::size_t i = 0; i < hidden.rows; ++i) {
+    num::axpy(1.0f, proj.row(i), hidden.row(i), hidden.cols);
+  }
+}
+
+void Transformer::ffn(num::MatView hidden, std::size_t layer) const {
+  const LayerWeights& w = layers_[layer];
+  const std::size_t d = hidden.cols;
+  num::Tensor normed(hidden.rows, d);
+  // Second-norm gains.
+  const std::vector<float>& gain = norm2_[layer];
+  for (std::size_t i = 0; i < hidden.rows; ++i) {
+    const float* xi = hidden.row(i);
+    float ms = 0.0f;
+    for (std::size_t c = 0; c < d; ++c) ms += xi[c] * xi[c];
+    const float inv = 1.0f / std::sqrt(ms / static_cast<float>(d) + 1e-6f);
+    float* oi = normed.row(i);
+    for (std::size_t c = 0; c < d; ++c) oi[c] = xi[c] * inv * gain[c];
+  }
+  num::Tensor up(hidden.rows, cfg_.ffn_hidden);
+  num::Tensor gate(hidden.rows, cfg_.ffn_hidden);
+  num::matmul(normed.view(), w.w_up.view(), up.view());
+  num::matmul(normed.view(), w.w_gate.view(), gate.view());
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    up.data()[i] *= silu(gate.data()[i]);
+  }
+  num::Tensor down(hidden.rows, d);
+  num::matmul(up.view(), w.w_down.view(), down.view());
+  for (std::size_t i = 0; i < hidden.rows; ++i) {
+    num::axpy(1.0f, down.row(i), hidden.row(i), d);
+  }
+}
+
+std::int32_t Transformer::readout_argmax(const float* hidden_row) const {
+  std::int32_t best = 0;
+  float best_score = -1e30f;
+  for (std::size_t t = 0; t < cfg_.vocab; ++t) {
+    const float s = num::dot(hidden_row, embedding_.row(t), cfg_.hidden());
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<std::int32_t>(t);
+    }
+  }
+  return best;
+}
+
+std::vector<float> Transformer::readout_logits(const float* hidden_row) const {
+  std::vector<float> logits(cfg_.vocab);
+  for (std::size_t t = 0; t < cfg_.vocab; ++t) {
+    logits[t] = num::dot(hidden_row, embedding_.row(t), cfg_.hidden());
+  }
+  return logits;
+}
+
+}  // namespace lserve::model

@@ -1,0 +1,126 @@
+#include "model/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "numeric/math.hpp"
+#include "numeric/rng.hpp"
+
+namespace lserve::model {
+
+TokenStream smooth_stream(const StreamConfig& cfg) {
+  num::Rng rng(cfg.seed);
+  const std::size_t n = cfg.n_tokens;
+  const std::size_t d = cfg.head_dim;
+  TokenStream s{num::Tensor(n, d), num::Tensor(n, d)};
+
+  const float rho = cfg.locality;
+  const float fresh = std::sqrt(std::max(0.0f, 1.0f - rho * rho));
+  // Per-channel scale keeps key norms ~ key_scale regardless of dim.
+  const float chan = cfg.key_scale / std::sqrt(static_cast<float>(d));
+
+  std::vector<float> walk(d, 0.0f);
+  for (std::size_t c = 0; c < d; ++c) walk[c] = rng.gaussian(0.0f, chan);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    float* key = s.keys.row(t);
+    float* val = s.values.row(t);
+    for (std::size_t c = 0; c < d; ++c) {
+      walk[c] = rho * walk[c] + fresh * rng.gaussian(0.0f, chan);
+      key[c] = walk[c];
+      val[c] = rng.gaussian(0.0f, chan);
+    }
+    if (t < cfg.sink_tokens) {
+      num::scale(cfg.sink_boost, key, d);
+    } else if (cfg.distractor_rate > 0.0f &&
+               rng.next_double() < cfg.distractor_rate) {
+      const std::vector<float> dir = rng.unit_vector(d);
+      for (std::size_t c = 0; c < d; ++c) {
+        key[c] = cfg.distractor_strength * dir[c];
+      }
+    }
+  }
+  return s;
+}
+
+float salient_strength(std::size_t n_tokens, std::size_t head_dim,
+                       float margin) {
+  const double score = std::log(static_cast<double>(n_tokens) + 1.0) + margin;
+  const double product = score * std::sqrt(static_cast<double>(head_dim));
+  return static_cast<float>(std::sqrt(product));
+}
+
+Needle plant_needle(TokenStream& stream, std::size_t pos, float strength,
+                    std::uint64_t seed) {
+  assert(pos < stream.keys.rows());
+  const std::size_t d = stream.keys.cols();
+  num::Rng rng(seed);
+  Needle needle;
+  needle.pos = pos;
+  needle.direction = rng.unit_vector(d);
+  needle.payload = rng.unit_vector(d);
+  float* key = stream.keys.row(pos);
+  float* val = stream.values.row(pos);
+  for (std::size_t c = 0; c < d; ++c) {
+    key[c] = strength * needle.direction[c];
+    val[c] = needle.payload[c];
+  }
+  return needle;
+}
+
+std::vector<float> probe_query(const Needle& needle, float strength,
+                               float noise, std::uint64_t seed) {
+  num::Rng rng(seed);
+  const std::size_t d = needle.direction.size();
+  std::vector<float> q(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    q[c] = strength * needle.direction[c] +
+           noise * strength * rng.gaussian() /
+               std::sqrt(static_cast<float>(d));
+  }
+  return q;
+}
+
+std::vector<Needle> plant_chain(TokenStream& stream,
+                                const std::vector<std::size_t>& positions,
+                                float strength, std::uint64_t seed) {
+  std::vector<Needle> chain;
+  chain.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    chain.push_back(plant_needle(stream, positions[i], strength,
+                                 num::split_seed(seed, i)));
+  }
+  // Rewrite payloads so hop i points at hop i+1's key direction.
+  const std::size_t d = stream.keys.cols();
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    chain[i].payload = chain[i + 1].direction;
+    float* val = stream.values.row(chain[i].pos);
+    for (std::size_t c = 0; c < d; ++c) val[c] = chain[i].payload[c];
+  }
+  return chain;
+}
+
+AggregationPlant plant_aggregation(TokenStream& stream,
+                                   const std::vector<std::size_t>& positions,
+                                   float strength, std::uint64_t seed) {
+  num::Rng rng(seed);
+  const std::size_t d = stream.keys.cols();
+  AggregationPlant plant;
+  plant.direction = rng.unit_vector(d);
+  plant.positions = positions;
+  plant.payloads.reserve(positions.size());
+  for (std::size_t pos : positions) {
+    assert(pos < stream.keys.rows());
+    std::vector<float> payload = rng.unit_vector(d);
+    float* key = stream.keys.row(pos);
+    float* val = stream.values.row(pos);
+    for (std::size_t c = 0; c < d; ++c) {
+      key[c] = strength * plant.direction[c];
+      val[c] = payload[c];
+    }
+    plant.payloads.push_back(std::move(payload));
+  }
+  return plant;
+}
+
+}  // namespace lserve::model

@@ -1,0 +1,106 @@
+// Planted-structure workload generators.
+//
+// Substitute for the paper's datasets (NIAH haystacks, LongBench, RULER):
+// we generate per-head key/value streams whose *attention-level* structure
+// matches what those benchmarks exercise in a real model:
+//
+//  * smooth_stream   — keys follow a slowly-drifting random walk, giving
+//                      the spatial locality (neighbouring tokens share
+//                      page statistics) and temporal locality (consecutive
+//                      queries attend alike) that §3.5.3 relies on, plus
+//                      high-norm "attention sink" keys at the start.
+//  * plant_needle    — a single token whose key is aligned with a known
+//                      direction and whose value carries a recognizable
+//                      payload; a probe query aligned with that direction
+//                      makes dense attention return (approximately) the
+//                      payload. Retrieval succeeds iff a sparse policy
+//                      keeps the needle's page.
+//  * plant_chain     — multi-hop variant: needle i's value encodes needle
+//                      i+1's key direction (RULER multi-hop tracing proxy).
+//  * plant_aggregation — many same-direction keys with distinct payloads;
+//                      the dense answer is their softmax mean (RULER
+//                      aggregation proxy; punishes dropped pages).
+//
+// All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace lserve::model {
+
+/// One head's planted key/value history.
+struct TokenStream {
+  num::Tensor keys;    ///< [n x d]
+  num::Tensor values;  ///< [n x d]
+};
+
+/// Geometry/statistics of a generated stream.
+struct StreamConfig {
+  std::size_t n_tokens = 4096;
+  std::size_t head_dim = 64;
+  float locality = 0.95f;    ///< random-walk smoothness in [0,1).
+  float key_scale = 1.0f;    ///< typical key norm scale.
+  std::size_t sink_tokens = 4;   ///< leading high-norm sink keys.
+  float sink_boost = 3.0f;       ///< norm multiplier for sink keys.
+  /// Fraction of tokens replaced by "distractors": strong keys in random
+  /// directions (salient for SOME query, not the probe's). Distractors are
+  /// what make page selection non-trivial: a physical page holding several
+  /// of them has an inflated channel-wise min/max envelope, so coarse
+  /// (page-wide) scoring mis-ranks pages while fine (logical-page) scoring
+  /// stays sharp — the mechanism behind the page-size dilemma (Fig 6).
+  float distractor_rate = 0.0f;
+  float distractor_strength = 0.0f;  ///< key norm of distractor tokens.
+  std::uint64_t seed = 1;
+};
+
+/// Generates the locality-bearing base stream.
+TokenStream smooth_stream(const StreamConfig& cfg);
+
+/// Strength S such that an S-normed key aligned with an S-normed query
+/// yields a post-scale attention score of ln(n_tokens) + margin — i.e. the
+/// planted token's softmax mass dominates n_tokens unit-scale background
+/// keys by a factor of exp(margin). Real retrieval attention is peaked in
+/// exactly this sense; without length-aware strength a needle drowns in
+/// the softmax denominator as contexts grow.
+float salient_strength(std::size_t n_tokens, std::size_t head_dim,
+                       float margin = 6.0f);
+
+/// A planted retrieval target.
+struct Needle {
+  std::size_t pos = 0;
+  std::vector<float> direction;  ///< unit key direction (length d).
+  std::vector<float> payload;    ///< unit value payload (length d).
+};
+
+/// Overwrites position `pos` with a needle of key norm
+/// `strength * cfg.key_scale`. Returns the planted needle.
+Needle plant_needle(TokenStream& stream, std::size_t pos, float strength,
+                    std::uint64_t seed);
+
+/// Query vector aligned with `needle.direction`, norm `strength`, with
+/// relative Gaussian perturbation `noise` (0 = exact).
+std::vector<float> probe_query(const Needle& needle, float strength,
+                               float noise, std::uint64_t seed);
+
+/// Plants a pointer chain: needle[i].payload encodes needle[i+1].direction
+/// (the last payload is a terminal answer). Positions must be distinct.
+std::vector<Needle> plant_chain(TokenStream& stream,
+                                const std::vector<std::size_t>& positions,
+                                float strength, std::uint64_t seed);
+
+/// Plants `positions.size()` same-direction keys with distinct payloads.
+/// Returns the shared direction and per-site payloads; the dense-attention
+/// answer to a direction-aligned probe is (approximately) the payload mean.
+struct AggregationPlant {
+  std::vector<float> direction;
+  std::vector<std::vector<float>> payloads;
+  std::vector<std::size_t> positions;
+};
+AggregationPlant plant_aggregation(TokenStream& stream,
+                                   const std::vector<std::size_t>& positions,
+                                   float strength, std::uint64_t seed);
+
+}  // namespace lserve::model

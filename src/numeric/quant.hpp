@@ -1,0 +1,95 @@
+// Per-token asymmetric KV-cache quantization (QServe-style KV4/KV8).
+//
+// Each token's D-dimensional key (or value) row is quantized independently:
+//   q[i] = clamp(round(x[i] / scale) + zero_point, 0, qmax)
+// with the (scale, zero_point) pair stored next to the token features inside
+// the KV page, exactly as LServe/QServe lay pages out (Fig 5: "Scales &
+// Zeros" trail the token features). INT4 codes are packed two per byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lserve::num {
+
+/// KV storage precision.
+enum class KvDtype : std::uint8_t {
+  kFp16 = 0,  // modelled as fp32 on CPU; 2 bytes/elt in the cost model
+  kInt8 = 1,
+  kInt4 = 2,
+};
+
+/// Bytes of payload per element for a dtype (cost-model view; INT4 = 0.5).
+double bytes_per_element(KvDtype dtype) noexcept;
+
+/// Human-readable dtype name ("fp16" / "int8" / "int4").
+const char* dtype_name(KvDtype dtype) noexcept;
+
+/// Quantization parameters for one token row.
+struct QuantParams {
+  float scale = 1.0f;
+  float zero_point = 0.0f;  // stored in code space: q = x/scale + zero_point
+};
+
+/// Computes asymmetric per-row parameters for `bits`-bit quantization.
+QuantParams compute_quant_params(const float* row, std::size_t n,
+                                 int bits) noexcept;
+
+/// Quantizes a row to 8-bit codes using `p`.
+void quantize_row_int8(const float* row, std::size_t n, QuantParams p,
+                       std::uint8_t* out) noexcept;
+
+/// Dequantizes 8-bit codes back to float.
+void dequantize_row_int8(const std::uint8_t* codes, std::size_t n,
+                         QuantParams p, float* out) noexcept;
+
+/// Quantizes a row to packed 4-bit codes (two per byte, low nibble first).
+/// `out` must hold (n+1)/2 bytes.
+void quantize_row_int4(const float* row, std::size_t n, QuantParams p,
+                       std::uint8_t* out) noexcept;
+
+/// Dequantizes packed 4-bit codes back to float.
+void dequantize_row_int4(const std::uint8_t* codes, std::size_t n,
+                         QuantParams p, float* out) noexcept;
+
+/// Round-trip worst-case absolute error bound for a row under `bits`-bit
+/// asymmetric quantization: half a quantization step.
+float quant_error_bound(const float* row, std::size_t n, int bits) noexcept;
+
+/// A contiguous buffer of `rows` quantized token rows with per-row params.
+/// This is the in-page storage format used by kv::Page.
+class QuantizedRows {
+ public:
+  QuantizedRows() = default;
+  QuantizedRows(std::size_t rows, std::size_t dim, KvDtype dtype);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t dim() const noexcept { return dim_; }
+  KvDtype dtype() const noexcept { return dtype_; }
+
+  /// Quantizes (or copies, for kFp16) one row into slot r.
+  void store_row(std::size_t r, const float* row) noexcept;
+
+  /// Dequantizes slot r into `out` (length dim).
+  void load_row(std::size_t r, float* out) const noexcept;
+
+  /// Direct fp32 access when dtype == kFp16 (hot-path shortcut).
+  const float* fp_row(std::size_t r) const noexcept;
+
+  QuantParams params(std::size_t r) const noexcept { return params_[r]; }
+
+  /// Payload bytes this buffer would occupy on a real device.
+  double device_bytes() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  KvDtype dtype_ = KvDtype::kFp16;
+  std::size_t row_bytes_ = 0;           // packed bytes per row (int paths)
+  std::vector<std::uint8_t> codes_;     // int8/int4 payload
+  std::vector<float> fp_;               // fp16-modelled payload
+  std::vector<QuantParams> params_;
+};
+
+}  // namespace lserve::num

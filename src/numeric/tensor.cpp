@@ -1,0 +1,8 @@
+#include "numeric/tensor.hpp"
+
+// Tensor is header-only; this translation unit exists so the target has a
+// stable object for the module and to catch ODR issues early.
+namespace lserve::num {
+static_assert(sizeof(MatView) == sizeof(ConstMatView),
+              "views must stay layout-compatible");
+}  // namespace lserve::num

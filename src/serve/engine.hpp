@@ -1,0 +1,125 @@
+// The serving engine.
+//
+// One parameterized implementation covers LServe and every baseline: the
+// EngineConfig decides KV precision and page geometry, the static head
+// partition (streaming fraction), decode-stage dynamic page selection
+// (flat or hierarchical, with reuse interval), and the prefill mask policy.
+// Baseline presets live in baselines/baseline_engines.hpp; comparisons then
+// vary only the policy, never the substrate — the paper's own methodology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "attn/fused_attention.hpp"
+#include "kv/page_allocator.hpp"
+#include "model/model_config.hpp"
+#include "model/transformer.hpp"
+#include "serve/sequence.hpp"
+#include "sparse/head_classifier.hpp"
+
+namespace lserve::serve {
+
+/// Everything that distinguishes one serving system from another.
+struct EngineConfig {
+  model::ModelConfig model;
+
+  /// Dense-head page geometry: NP (page_size), NL (logical_page_size),
+  /// KV precision. Streaming-head pages share NP but skip K_stats.
+  kv::PageConfig dense_pages;
+  kv::StreamingConfig streaming{/*sink_tokens=*/64, /*local_tokens=*/256};
+  double streaming_fraction = 0.5;  ///< fraction of kv heads made streaming.
+
+  bool dynamic_decode = true;   ///< decode-stage page pruning (dense heads).
+  bool hierarchical = true;     ///< hierarchical vs flat page scoring.
+  sparse::PageSelectorConfig selector;  ///< token budget etc.
+  std::size_t reuse_interval = 4;       ///< selector reuse chunk C.
+
+  attn::PrefillTiling tiling{/*tile_q=*/64, /*tile_k=*/64};
+  /// Prefill long prompts in chunks of this many tokens, each attending
+  /// to the already-cached history through the paged tables (bounds
+  /// activation memory). 0 = monolithic prefill. For exact streaming-head
+  /// semantics keep chunks <= streaming.local_tokens.
+  std::size_t prefill_chunk_tokens = 0;
+  bool dynamic_prefill = false;  ///< MInference-style prefill mask.
+  sparse::DynamicPrefillConfig dynamic_prefill_cfg;
+  std::size_t dynamic_prefill_min_tokens = 0;  ///< activate above this len.
+
+  std::size_t pool_pages = 2048;  ///< initial page-pool capacity.
+  std::uint64_t seed = 42;
+};
+
+/// Cumulative engine telemetry; also feeds the GPU cost model.
+struct EngineStats {
+  std::size_t prefill_tokens = 0;
+  std::size_t decode_steps = 0;
+  std::size_t pages_visited = 0;   ///< decode attention page iterations.
+  std::size_t tokens_visited = 0;  ///< decode attention token iterations.
+  std::size_t selector_runs = 0;
+  std::size_t selector_reuses = 0;
+};
+
+/// Long-sequence serving engine with unified sparse attention.
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg);
+
+  const EngineConfig& config() const noexcept { return cfg_; }
+  const model::Transformer& transformer() const noexcept { return tf_; }
+  const std::vector<kv::HeadKind>& head_kinds() const noexcept {
+    return head_kinds_;
+  }
+
+  /// Overrides the offline head partition ([layers x kv_heads] row-major).
+  void set_head_kinds(std::vector<kv::HeadKind> kinds);
+
+  /// Runs the synthetic-calibration gate measurement (DESIGN.md §2) and
+  /// re-partitions heads at cfg.streaming_fraction. Returns the gates.
+  std::vector<float> calibrate_head_kinds();
+
+  /// Creates an empty sequence; caller feeds it via prefill()/decode().
+  SequenceId create_sequence();
+  void release_sequence(SequenceId id);
+  Sequence& sequence(SequenceId id) { return *sequences_[id]; }
+  const Sequence& sequence(SequenceId id) const { return *sequences_[id]; }
+
+  /// Prefills `ids` and returns the first generated token (greedy).
+  std::int32_t prefill(SequenceId id, std::span<const std::int32_t> ids);
+
+  /// Appends `token` and returns the next token (one decode step).
+  std::int32_t decode(SequenceId id, std::int32_t token);
+
+  /// Convenience: prefill + n greedy decode steps.
+  std::vector<std::int32_t> generate(SequenceId id,
+                                     std::span<const std::int32_t> prompt,
+                                     std::size_t n_tokens);
+
+  const EngineStats& stats() const noexcept { return stats_; }
+  kv::PageAllocator& dense_allocator() noexcept { return dense_alloc_; }
+  kv::PageAllocator& stream_allocator() noexcept { return stream_alloc_; }
+
+  /// Device bytes currently held by KV pages (memory-saving accounting).
+  double kv_device_bytes() const noexcept;
+
+ private:
+  /// Runs all transformer layers over `hidden` ([n x hidden]) in prefill
+  /// mode, appending K/V to `seq`'s caches. `pos0` is the absolute position
+  /// of row 0.
+  void forward_prefill(Sequence& seq, num::Tensor& hidden, std::size_t pos0);
+  void forward_decode(Sequence& seq, num::Tensor& hidden);
+
+  attn::FusedPrefillConfig prefill_config(std::size_t n_tokens) const;
+  attn::FusedDecodeConfig decode_config() const;
+
+  EngineConfig cfg_;
+  model::Transformer tf_;
+  kv::PageAllocator dense_alloc_;
+  kv::PageAllocator stream_alloc_;
+  std::vector<kv::HeadKind> head_kinds_;
+  std::vector<std::unique_ptr<Sequence>> sequences_;
+  EngineStats stats_;
+};
+
+}  // namespace lserve::serve

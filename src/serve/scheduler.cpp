@@ -1,0 +1,67 @@
+#include "serve/scheduler.hpp"
+
+#include <cassert>
+
+namespace lserve::serve {
+
+Scheduler::Scheduler(Engine& engine, std::size_t max_batch)
+    : engine_(engine), max_batch_(max_batch == 0 ? 1 : max_batch) {}
+
+std::uint64_t Scheduler::submit(Request req) {
+  if (req.request_id == 0) req.request_id = next_id_++;
+  const std::uint64_t id = req.request_id;
+  waiting_.push_back(std::move(req));
+  return id;
+}
+
+void Scheduler::admit() {
+  while (running_.size() < max_batch_ && !waiting_.empty()) {
+    Request req = std::move(waiting_.front());
+    waiting_.pop_front();
+    Running run;
+    run.seq = engine_.create_sequence();
+    const std::int32_t first =
+        engine_.prefill(run.seq, std::span<const std::int32_t>(req.prompt));
+    run.output.push_back(first);
+    run.req = std::move(req);
+    running_.push_back(std::move(run));
+  }
+}
+
+bool Scheduler::step() {
+  admit();
+  if (running_.empty()) return false;
+
+  for (auto& run : running_) {
+    if (run.output.size() >= run.req.max_new_tokens) continue;
+    const std::int32_t next = engine_.decode(run.seq, run.output.back());
+    run.output.push_back(next);
+  }
+
+  // Retire finished sequences (swap-erase keeps iteration simple).
+  for (std::size_t i = 0; i < running_.size();) {
+    Running& run = running_[i];
+    if (run.output.size() >= run.req.max_new_tokens) {
+      RequestResult result;
+      result.request_id = run.req.request_id;
+      result.prompt_tokens = run.req.prompt.size();
+      result.decode_steps = run.output.size() - 1;
+      result.output = std::move(run.output);
+      results_.push_back(std::move(result));
+      engine_.release_sequence(run.seq);
+      running_[i] = std::move(running_.back());
+      running_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return !running_.empty() || !waiting_.empty();
+}
+
+std::vector<RequestResult> Scheduler::drain() {
+  while (step()) {
+  }
+  return results_;
+}
+
+}  // namespace lserve::serve

@@ -1,0 +1,72 @@
+// Continuous-batching scheduler (Orca-style iteration-level scheduling).
+//
+// Requests queue FCFS; up to `max_batch` sequences run concurrently. Each
+// step() performs one decode iteration across every running sequence and
+// admits waiting requests into free slots (prefilling them on admission).
+// This is the serving-loop shape of vLLM/TensorRT-LLM that LServe inherits
+// from QServe; benches use it to measure per-step decode latency under
+// batching.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace lserve::serve {
+
+/// One inference request.
+struct Request {
+  std::vector<std::int32_t> prompt;
+  std::size_t max_new_tokens = 16;
+  std::uint64_t request_id = 0;
+};
+
+/// A finished request's output and accounting.
+struct RequestResult {
+  std::uint64_t request_id = 0;
+  std::vector<std::int32_t> output;
+  std::size_t prompt_tokens = 0;
+  std::size_t decode_steps = 0;
+};
+
+/// FCFS continuous-batching scheduler over one Engine.
+class Scheduler {
+ public:
+  Scheduler(Engine& engine, std::size_t max_batch);
+
+  /// Enqueues a request; returns its id (assigned if 0).
+  std::uint64_t submit(Request req);
+
+  /// Admits + decodes one iteration. Returns true while work remains.
+  bool step();
+
+  /// Runs to completion and returns all results in completion order.
+  std::vector<RequestResult> drain();
+
+  std::size_t running() const noexcept { return running_.size(); }
+  std::size_t waiting() const noexcept { return waiting_.size(); }
+  const std::vector<RequestResult>& results() const noexcept {
+    return results_;
+  }
+
+ private:
+  struct Running {
+    Request req;
+    SequenceId seq;
+    std::vector<std::int32_t> output;
+  };
+
+  void admit();
+
+  Engine& engine_;
+  std::size_t max_batch_;
+  std::deque<Request> waiting_;
+  std::vector<Running> running_;
+  std::vector<RequestResult> results_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lserve::serve

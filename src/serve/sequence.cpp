@@ -1,0 +1,6 @@
+#include "serve/sequence.hpp"
+
+// Sequence is a plain aggregate; this TU anchors the module.
+namespace lserve::serve {
+static_assert(kInvalidSequence != 0, "sequence ids start at 0");
+}  // namespace lserve::serve

@@ -1,0 +1,42 @@
+// Sequence state: one in-flight request's KV caches, position counters and
+// per-sequence page-selection cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kv/two_way_cache.hpp"
+#include "sparse/reusable_selector.hpp"
+
+namespace lserve::serve {
+
+using SequenceId = std::size_t;
+inline constexpr SequenceId kInvalidSequence = static_cast<SequenceId>(-1);
+
+/// Lifecycle of a served sequence.
+enum class SequencePhase : std::uint8_t {
+  kWaiting = 0,   ///< admitted, not yet prefilled.
+  kRunning = 1,   ///< decoding.
+  kFinished = 2,  ///< hit max_new_tokens (or EOS in a real deployment).
+};
+
+/// Per-sequence serving state. Owned by the engine; requests reference it
+/// by SequenceId.
+struct Sequence {
+  Sequence(std::size_t layers, std::size_t kv_heads,
+           std::vector<kv::HeadKind> kinds, kv::StreamingConfig streaming,
+           std::size_t reuse_interval)
+      : cache(layers, kv_heads, std::move(kinds), streaming),
+        selector(layers * kv_heads, reuse_interval) {}
+
+  kv::TwoWayKvCache cache;
+  sparse::ReusableSelector selector;
+  SequencePhase phase = SequencePhase::kWaiting;
+  std::size_t position = 0;      ///< next absolute token position.
+  std::size_t decode_step = 0;   ///< decode steps taken (reuse chunking).
+  std::int32_t last_token = -1;  ///< most recent generated token id.
+  std::vector<std::int32_t> generated;
+};
+
+}  // namespace lserve::serve

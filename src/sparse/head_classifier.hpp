@@ -1,0 +1,41 @@
+// Offline head classification: retrieval heads vs streaming heads
+// (LServe §3.3, following DuoAttention).
+//
+// DuoAttention learns a gate α ∈ [0,1] per head with an optimization pass
+// over calibration data; heads with α below a sparsity-quantile threshold τ
+// become streaming heads. We cannot run that training here, so the gate is
+// *measured* instead of learned: α is the normalized output distortion a
+// head suffers when restricted to its Λ mask on a calibration workload with
+// planted long-range dependencies. The interface (per-head α + quantile
+// thresholding) and the downstream behaviour are identical; DESIGN.md §2
+// records the substitution.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kv/two_way_cache.hpp"
+#include "numeric/tensor.hpp"
+
+namespace lserve::sparse {
+
+/// Measures one head's gate value: the relative L2 error between dense
+/// attention output and streaming (sink+local) output on calibration
+/// q/k/v ([n x d] each), squashed into [0, 1). Retrieval-dependent heads
+/// score high; locally-supported heads score near 0.
+float measure_head_gate(num::ConstMatView q, num::ConstMatView k,
+                        num::ConstMatView v, std::size_t sink_tokens,
+                        std::size_t local_tokens, float scale);
+
+/// Quantile-thresholds gate values into head roles: the lowest
+/// `streaming_fraction` of heads become streaming (τ = that quantile of α).
+/// Returns one HeadKind per gate, in input order.
+std::vector<kv::HeadKind> classify_by_quantile(std::span<const float> gates,
+                                               double streaming_fraction);
+
+/// The threshold τ used by classify_by_quantile (exposed for logging and
+/// for reproducing DuoAttention's "τ = median for 50% sparsity" statement).
+float gate_threshold(std::span<const float> gates, double streaming_fraction);
+
+}  // namespace lserve::sparse

@@ -1,0 +1,76 @@
+#include "sparse/hierarchical_selector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "kv/kstats.hpp"
+#include "numeric/math.hpp"
+
+namespace lserve::sparse {
+namespace {
+
+float hierarchical_score(const kv::Page& page, const float* q) {
+  const kv::KStats& stats = page.kstats();
+  const std::size_t d = stats.head_dim();
+  float best = -std::numeric_limits<float>::infinity();
+  for (std::size_t j = 0; j < stats.logical_pages(); ++j) {
+    if (!stats.initialized(j)) continue;
+    const float s = kv::logical_page_score(q, stats.kmax(j), stats.kmin(j), d);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+kv::SelectedPageTable select_pages_hierarchical(
+    const kv::PageAllocator& alloc, const kv::HeadCache& head, const float* q,
+    const PageSelectorConfig& cfg) {
+  const kv::PageTableView view = head.view(alloc);
+  const std::size_t blocks = view.num_blocks();
+  const std::size_t page_size = view.page_size;
+  if (blocks == 0) return {};
+
+  const std::size_t budget_pages =
+      std::max<std::size_t>(1, cfg.token_budget / page_size);
+  if (budget_pages >= blocks) return kv::full_page_table(view);
+
+  std::vector<float> scores(blocks);
+  hierarchical_page_scores(alloc, head, q, scores.data());
+  const float forced = std::numeric_limits<float>::max();
+  for (std::size_t b = 0; b < std::min(cfg.keep_first_pages, blocks); ++b) {
+    scores[b] = forced;
+  }
+  for (std::size_t i = 0; i < std::min(cfg.keep_recent_pages, blocks); ++i) {
+    scores[blocks - 1 - i] = forced;
+  }
+
+  const std::vector<std::size_t> kept =
+      num::top_k_indices(scores, budget_pages);
+  kv::SelectedPageTable table;
+  table.reserve(kept.size());
+  for (std::size_t b : kept) {
+    table.push_back({view.pages[b], static_cast<std::uint32_t>(b)});
+  }
+  return table;
+}
+
+void hierarchical_page_scores(const kv::PageAllocator& alloc,
+                              const kv::HeadCache& head, const float* q,
+                              float* scores) {
+  const kv::PageTableView view = head.view(alloc);
+  for (std::size_t b = 0; b < view.num_blocks(); ++b) {
+    scores[b] = hierarchical_score(alloc.get(view.pages[b]), q);
+  }
+}
+
+std::size_t hierarchical_selector_scored_pages(
+    const kv::PageAllocator& alloc, const kv::HeadCache& head) noexcept {
+  const kv::PageTableView view = head.view(alloc);
+  const std::size_t g = alloc.config().logical_pages();
+  return view.num_blocks() * g;
+}
+
+}  // namespace lserve::sparse

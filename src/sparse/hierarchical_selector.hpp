@@ -1,0 +1,41 @@
+// Hierarchical page selection (LServe §3.5.2, Fig 7).
+//
+// The accuracy/efficiency dilemma: quantized KV wants large physical pages
+// (NP ≥ 64) for bandwidth, but page-wide statistics at that granularity are
+// homogenized and mis-rank pages. Hierarchical paging decouples the two:
+// importance is estimated per *logical* page of NL tokens (NP = g·NL) using
+// the per-logical-page channel-wise kmin/kmax kept in K_stats, and each
+// physical page inherits the MAX of its logical pages' scores. Top-K
+// physical pages under the token budget are selected. Spatial locality of
+// attention means salient logical pages cluster into few physical pages, so
+// the same token budget suffices (§3.5.3).
+#pragma once
+
+#include <cstddef>
+
+#include "kv/kv_cache.hpp"
+#include "kv/page_allocator.hpp"
+#include "kv/page_table.hpp"
+#include "sparse/quest_selector.hpp"
+
+namespace lserve::sparse {
+
+/// Hierarchical selection: score logical pages, max-reduce onto physical
+/// pages, keep top-K physical pages under cfg.token_budget.
+kv::SelectedPageTable select_pages_hierarchical(const kv::PageAllocator& alloc,
+                                                const kv::HeadCache& head,
+                                                const float* q,
+                                                const PageSelectorConfig& cfg);
+
+/// Raw per-physical-page hierarchical scores (max over logical pages), for
+/// analysis benches. scores[b] corresponds to logical block b.
+void hierarchical_page_scores(const kv::PageAllocator& alloc,
+                              const kv::HeadCache& head, const float* q,
+                              float* scores);
+
+/// Selector work in scored representatives (= logical pages touched); the
+/// cost model charges selection proportionally to this count.
+std::size_t hierarchical_selector_scored_pages(
+    const kv::PageAllocator& alloc, const kv::HeadCache& head) noexcept;
+
+}  // namespace lserve::sparse

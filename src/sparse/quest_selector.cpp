@@ -1,0 +1,101 @@
+#include "sparse/quest_selector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "kv/kstats.hpp"
+#include "numeric/math.hpp"
+
+namespace lserve::sparse {
+namespace {
+
+/// Scores every physical page and returns the block indices to keep.
+/// `score_page` maps a Page to its importance for the current query.
+template <typename ScoreFn>
+kv::SelectedPageTable select_top_pages(const kv::PageAllocator& alloc,
+                                       const kv::HeadCache& head,
+                                       const PageSelectorConfig& cfg,
+                                       ScoreFn&& score_page) {
+  const kv::PageTableView view = head.view(alloc);
+  const std::size_t blocks = view.num_blocks();
+  const std::size_t page_size = view.page_size;
+  if (blocks == 0) return {};
+
+  std::size_t budget_pages =
+      std::max<std::size_t>(1, cfg.token_budget / page_size);
+  if (budget_pages >= blocks) return kv::full_page_table(view);
+
+  std::vector<float> scores(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    scores[b] = score_page(alloc.get(view.pages[b]));
+  }
+  // Forced pages (sinks and the most recent blocks) are modelled by giving
+  // them +inf-like priority rather than extra budget, so the token budget
+  // is respected exactly.
+  const float forced = std::numeric_limits<float>::max();
+  for (std::size_t b = 0; b < std::min(cfg.keep_first_pages, blocks); ++b) {
+    scores[b] = forced;
+  }
+  for (std::size_t i = 0; i < std::min(cfg.keep_recent_pages, blocks); ++i) {
+    scores[blocks - 1 - i] = forced;
+  }
+
+  const std::vector<std::size_t> kept =
+      num::top_k_indices(scores, budget_pages);
+  kv::SelectedPageTable table;
+  table.reserve(kept.size());
+  for (std::size_t b : kept) {
+    table.push_back({view.pages[b], static_cast<std::uint32_t>(b)});
+  }
+  return table;
+}
+
+/// Quest's page representative: channel-wise min/max over the WHOLE
+/// physical page, obtained by folding the per-logical-page stats.
+float flat_page_score(const kv::Page& page, const float* q) {
+  const kv::KStats& stats = page.kstats();
+  const std::size_t d = stats.head_dim();
+  const std::size_t g = stats.logical_pages();
+  assert(g >= 1);
+  float mn[1024];
+  float mx[1024];
+  assert(d <= 1024);
+  bool seeded = false;
+  for (std::size_t j = 0; j < g; ++j) {
+    if (!stats.initialized(j)) continue;
+    const float* jmin = stats.kmin(j);
+    const float* jmax = stats.kmax(j);
+    if (!seeded) {
+      std::copy(jmin, jmin + d, mn);
+      std::copy(jmax, jmax + d, mx);
+      seeded = true;
+    } else {
+      for (std::size_t c = 0; c < d; ++c) {
+        mn[c] = std::min(mn[c], jmin[c]);
+        mx[c] = std::max(mx[c], jmax[c]);
+      }
+    }
+  }
+  if (!seeded) return -std::numeric_limits<float>::infinity();
+  return kv::logical_page_score(q, mx, mn, d);
+}
+
+}  // namespace
+
+kv::SelectedPageTable select_pages_flat(const kv::PageAllocator& alloc,
+                                        const kv::HeadCache& head,
+                                        const float* q,
+                                        const PageSelectorConfig& cfg) {
+  return select_top_pages(
+      alloc, head, cfg,
+      [q](const kv::Page& page) { return flat_page_score(page, q); });
+}
+
+std::size_t flat_selector_scored_pages(const kv::PageAllocator& alloc,
+                                       const kv::HeadCache& head) noexcept {
+  return head.view(alloc).num_blocks();
+}
+
+}  // namespace lserve::sparse

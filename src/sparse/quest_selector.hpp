@@ -1,0 +1,41 @@
+// Flat (Quest-style) query-centric page selection.
+//
+// Quest scores each physical page with ONE channel-wise min/max
+// representative and keeps the top-K pages under a token budget. With small
+// pages (≤16 tokens) this is nearly lossless; with the large pages that
+// KV quantization demands, the page-wide statistics homogenize and the
+// selector loses needles (the page-size dilemma of §3.5.1 / Fig 6). We
+// reproduce that failure mode exactly by folding all logical-page stats of
+// a physical page into a single representative before scoring.
+#pragma once
+
+#include <cstddef>
+
+#include "kv/kv_cache.hpp"
+#include "kv/page_allocator.hpp"
+#include "kv/page_table.hpp"
+
+namespace lserve::sparse {
+
+/// Budget policy shared by the flat and hierarchical selectors.
+struct PageSelectorConfig {
+  std::size_t token_budget = 4096;  ///< max KV tokens attended per head.
+  std::size_t keep_first_pages = 1;   ///< attention sinks are always kept.
+  std::size_t keep_recent_pages = 1;  ///< the newest block is always kept.
+};
+
+/// Flat selection: one min/max representative per physical page.
+/// `q` is the head's query (head_dim floats). The returned table is sorted
+/// by logical block and covers at most `token_budget` tokens (counting the
+/// forced first/recent pages inside the budget where possible).
+kv::SelectedPageTable select_pages_flat(const kv::PageAllocator& alloc,
+                                        const kv::HeadCache& head,
+                                        const float* q,
+                                        const PageSelectorConfig& cfg);
+
+/// Work accounting for the selector (cost-model hooks): number of logical
+/// representatives scored by one flat selection pass.
+std::size_t flat_selector_scored_pages(const kv::PageAllocator& alloc,
+                                       const kv::HeadCache& head) noexcept;
+
+}  // namespace lserve::sparse

@@ -1,0 +1,20 @@
+#include "sparse/reusable_selector.hpp"
+
+#include <cassert>
+
+namespace lserve::sparse {
+
+ReusableSelector::ReusableSelector(std::size_t slots,
+                                   std::size_t reuse_interval)
+    : entries_(slots), interval_(reuse_interval == 0 ? 1 : reuse_interval) {
+  assert(slots > 0);
+}
+
+void ReusableSelector::reset() {
+  for (auto& e : entries_) {
+    e.valid = false;
+    e.table.clear();
+  }
+}
+
+}  // namespace lserve::sparse

@@ -1,0 +1,186 @@
+// Tests for chunked prefill (src/attn/chunked_prefill + engine wiring).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attn/chunked_prefill.hpp"
+#include "attn/dense_attention.hpp"
+#include "baselines/baseline_engines.hpp"
+#include "numeric/rng.hpp"
+#include "serve/engine.hpp"
+
+namespace lserve {
+namespace {
+
+TEST(ChunkedPrefillKernel, EmptyHistoryEqualsBlockSparsePrefill) {
+  const std::size_t n = 64, d = 16;
+  num::Rng rng(1);
+  num::Tensor q(n, d), k(n, d), v(n, d), a(n, d), b(n, d);
+  for (auto* t : {&q, &k, &v}) {
+    for (std::size_t i = 0; i < t->size(); ++i) t->data()[i] = rng.gaussian();
+  }
+  attn::BlockMask mask = attn::BlockMask::causal(n, 16, 16);
+  mask.finalize();
+  kv::PageConfig pages;
+  pages.page_size = 16;
+  pages.logical_page_size = 16;
+  pages.head_dim = d;
+  kv::PageAllocator alloc(pages, 2);
+  attn::block_sparse_prefill(q.view(), k.view(), v.view(), mask, {16, 16},
+                             0.25f, a.view());
+  attn::chunked_prefill_head(alloc, {}, 0, q.view(), k.view(), v.view(),
+                             mask, {16, 16}, 0.25f, b.view());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(ChunkedPrefillKernel, HistoryPlusChunkEqualsMonolithic) {
+  // Split a 48-token sequence into 32 cached + 16 chunk; the chunk rows'
+  // outputs must equal the corresponding rows of a monolithic prefill.
+  const std::size_t total = 48, hist = 32, d = 16;
+  num::Rng rng(2);
+  num::Tensor q(total, d), k(total, d), v(total, d), mono(total, d);
+  for (auto* t : {&q, &k, &v}) {
+    for (std::size_t i = 0; i < t->size(); ++i) t->data()[i] = rng.gaussian();
+  }
+  attn::dense_prefill_reference(q.view(), k.view(), v.view(), 0.25f,
+                                mono.view());
+
+  kv::PageConfig pages;
+  pages.page_size = 8;
+  pages.logical_page_size = 8;
+  pages.head_dim = d;
+  kv::PageAllocator alloc(pages, 8);
+  kv::HeadCache head;
+  for (std::size_t t = 0; t < hist; ++t) {
+    head.append(alloc, k.row(t), v.row(t));
+  }
+  const auto history = kv::full_page_table(head.view(alloc));
+
+  const std::size_t chunk = total - hist;
+  attn::BlockMask mask = attn::BlockMask::causal(chunk, 8, 8);
+  mask.finalize();
+  num::Tensor out(chunk, d);
+  attn::chunked_prefill_head(
+      alloc, history, hist, q.view().rows_slice(hist, chunk),
+      k.view().rows_slice(hist, chunk), v.view().rows_slice(hist, chunk),
+      mask, {8, 8}, 0.25f, out.view());
+  for (std::size_t r = 0; r < chunk; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      EXPECT_NEAR(out.at(r, c), mono.at(hist + r, c), 1e-4f) << "row " << r;
+    }
+  }
+}
+
+TEST(ChunkedPrefillKernel, PartialHistoryPageHandled) {
+  // 19 cached tokens: the trailing block is partial.
+  const std::size_t hist = 19, chunk = 8, d = 8;
+  num::Rng rng(3);
+  num::Tensor q(hist + chunk, d), k(hist + chunk, d), v(hist + chunk, d);
+  for (auto* t : {&q, &k, &v}) {
+    for (std::size_t i = 0; i < t->size(); ++i) t->data()[i] = rng.gaussian();
+  }
+  num::Tensor mono(hist + chunk, d);
+  attn::dense_prefill_reference(q.view(), k.view(), v.view(), 0.354f,
+                                mono.view());
+  kv::PageConfig pages;
+  pages.page_size = 8;
+  pages.logical_page_size = 8;
+  pages.head_dim = d;
+  kv::PageAllocator alloc(pages, 8);
+  kv::HeadCache head;
+  for (std::size_t t = 0; t < hist; ++t) head.append(alloc, k.row(t),
+                                                     v.row(t));
+  attn::BlockMask mask = attn::BlockMask::causal(chunk, 8, 8);
+  mask.finalize();
+  num::Tensor out(chunk, d);
+  attn::chunked_prefill_head(alloc, kv::full_page_table(head.view(alloc)),
+                             hist, q.view().rows_slice(hist, chunk),
+                             k.view().rows_slice(hist, chunk),
+                             v.view().rows_slice(hist, chunk), mask, {8, 8},
+                             0.354f, out.view());
+  for (std::size_t r = 0; r < chunk; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      EXPECT_NEAR(out.at(r, c), mono.at(hist + r, c), 1e-4f);
+    }
+  }
+}
+
+serve::EngineConfig dense_cfg(std::size_t chunk) {
+  serve::EngineConfig cfg = baselines::vllm_config(model::tiny());
+  cfg.dense_pages.page_size = 8;
+  cfg.dense_pages.logical_page_size = 8;
+  cfg.tiling = {8, 8};
+  cfg.prefill_chunk_tokens = chunk;
+  cfg.pool_pages = 256;
+  return cfg;
+}
+
+class EngineChunking : public ::testing::TestWithParam<std::size_t> {};
+
+// Chunked prefill through the whole engine must reproduce the monolithic
+// engine's generation exactly (fp16 KV: cache reads are lossless).
+TEST_P(EngineChunking, MatchesMonolithicGeneration) {
+  std::vector<std::int32_t> ids(52);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<std::int32_t>((9 * i + 4) % 251);
+  }
+  serve::Engine mono(dense_cfg(0));
+  serve::Engine chunked(dense_cfg(GetParam()));
+  const auto sm = mono.create_sequence();
+  const auto sc = chunked.create_sequence();
+  EXPECT_EQ(mono.generate(sm, ids, 6), chunked.generate(sc, ids, 6))
+      << "chunk=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, EngineChunking,
+                         ::testing::Values(8, 16, 24, 52, 13));
+
+TEST(EngineChunking, StreamingHeadsCoveringConfigStillMatches) {
+  // LServe config whose Λ window and budget cover the whole prompt:
+  // chunked sparse == monolithic dense.
+  std::vector<std::int32_t> ids(48);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<std::int32_t>((7 * i + 2) % 251);
+  }
+  serve::EngineConfig sparse_cfg = dense_cfg(16);
+  sparse_cfg.streaming_fraction = 0.5;
+  sparse_cfg.streaming = {/*sink=*/64, /*local=*/512};
+  sparse_cfg.dynamic_decode = true;
+  sparse_cfg.selector.token_budget = 4096;
+  serve::Engine mono(dense_cfg(0));
+  serve::Engine sparse(sparse_cfg);
+  const auto sm = mono.create_sequence();
+  const auto ss = sparse.create_sequence();
+  EXPECT_EQ(mono.generate(sm, ids, 6), sparse.generate(ss, ids, 6));
+}
+
+TEST(EngineChunking, ChunkedLServeWithRealSparsityIsWellFormed) {
+  serve::EngineConfig cfg = baselines::lserve_config(model::tiny());
+  cfg.dense_pages.page_size = 8;
+  cfg.dense_pages.logical_page_size = 4;
+  cfg.tiling = {8, 8};
+  cfg.streaming = {/*sink=*/8, /*local=*/32};
+  cfg.selector.token_budget = 32;
+  cfg.prefill_chunk_tokens = 16;
+  serve::Engine engine(cfg);
+  std::vector<std::int32_t> ids(80);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<std::int32_t>((3 * i + 1) % 251);
+  }
+  const auto seq = engine.create_sequence();
+  const auto out = engine.generate(seq, ids, 4);
+  EXPECT_EQ(out.size(), 4u);
+  for (auto t : out) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 256);
+  }
+  engine.release_sequence(seq);
+  EXPECT_EQ(engine.dense_allocator().pages_in_use(), 0u);
+  EXPECT_EQ(engine.stream_allocator().pages_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace lserve

@@ -1,0 +1,196 @@
+// Tests for the evaluation harness (src/eval): NIAH, RULER-proxy,
+// LongBench-proxy, and the probe metrics underneath them.
+#include <gtest/gtest.h>
+
+#include "eval/longbench.hpp"
+#include "eval/metrics.hpp"
+#include "eval/niah.hpp"
+#include "eval/ruler.hpp"
+
+namespace lserve::eval {
+namespace {
+
+kv::PageConfig pages(std::size_t np, std::size_t nl) {
+  kv::PageConfig c;
+  c.page_size = np;
+  c.logical_page_size = nl;
+  c.head_dim = 48;
+  return c;
+}
+
+NiahConfig small_niah(PolicyKind kind, std::size_t np, std::size_t nl,
+                      std::size_t budget) {
+  NiahConfig cfg;
+  cfg.lengths = {4096, 8192};
+  cfg.depths = {0.1, 0.3, 0.5, 0.7, 0.9};
+  cfg.head_dim = 48;
+  cfg.pages = pages(np, nl);
+  cfg.policy.kind = kind;
+  cfg.policy.selector.token_budget = budget;
+  return cfg;
+}
+
+TEST(Niah, DenseOracleIsNearPerfect) {
+  const NiahResult r = run_niah(small_niah(PolicyKind::kDense, 16, 16, 0));
+  EXPECT_GT(r.mean_accuracy(), 0.9);
+}
+
+TEST(Niah, QuestAtSmallPagesMatchesDense) {
+  // Fig 6(b): page 16 + adequate budget is nearly lossless.
+  const NiahResult r =
+      run_niah(small_niah(PolicyKind::kFlatSelect, 16, 16, 512));
+  EXPECT_GT(r.mean_accuracy(), 0.85);
+}
+
+TEST(Niah, FlatSelectionDegradesAtLargePages) {
+  // Fig 6(d): same budget, page 64 -> flat page-wide min/max scoring loses
+  // needles to pages whose envelopes are inflated by several distractors.
+  const double acc64 =
+      run_niah(small_niah(PolicyKind::kFlatSelect, 64, 64, 512))
+          .mean_accuracy();
+  const double acc16 =
+      run_niah(small_niah(PolicyKind::kFlatSelect, 16, 16, 512))
+          .mean_accuracy();
+  EXPECT_GT(acc16, 0.9);
+  EXPECT_LT(acc64, acc16 - 0.2);
+}
+
+TEST(Niah, HierarchicalRecoversLargePageAccuracy) {
+  // Fig 13: NP=64 / NL=16 with the SAME budget matches NP=16 flat.
+  const double flat16 =
+      run_niah(small_niah(PolicyKind::kFlatSelect, 16, 16, 384))
+          .mean_accuracy();
+  const double hier64 =
+      run_niah(small_niah(PolicyKind::kHierSelect, 64, 16, 384))
+          .mean_accuracy();
+  EXPECT_GT(hier64, flat16 - 0.05);
+  EXPECT_GT(hier64, 0.85);
+}
+
+TEST(Niah, StreamingPolicyMissesDeepNeedles) {
+  // A pure-streaming pathway must fail mid-context retrieval — this is why
+  // retrieval heads stay dense.
+  NiahConfig cfg = small_niah(PolicyKind::kStreaming, 16, 16, 0);
+  cfg.policy.sink_tokens = 64;
+  cfg.policy.local_tokens = 256;
+  const NiahResult r = run_niah(cfg);
+  // Depth 0.5 cell at 8192 tokens lies outside sink+local.
+  EXPECT_LT(r.accuracy[1][2], 0.5);
+}
+
+TEST(Niah, AsciiHeatmapHasOneRowPerLength) {
+  const NiahResult r = run_niah(small_niah(PolicyKind::kDense, 16, 16, 0));
+  const std::string art = r.ascii_heatmap();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'),
+            static_cast<long>(r.lengths.size()));
+}
+
+TEST(Metrics, ProbePagesVisitedReflectsPolicy) {
+  model::StreamConfig sc;
+  sc.n_tokens = 1024;
+  sc.head_dim = 48;
+  model::TokenStream stream = model::smooth_stream(sc);
+  kv::PageAllocator alloc(pages(16, 16), 80);
+  kv::HeadCache head;
+  fill_head_cache(alloc, head, stream);
+  std::vector<float> q(48, 0.5f);
+
+  ProbePolicy dense;
+  ProbePolicy pruned;
+  pruned.kind = PolicyKind::kHierSelect;
+  pruned.selector.token_budget = 128;
+  EXPECT_EQ(probe_pages_visited(alloc, head, q.data(), dense), 64u);
+  EXPECT_EQ(probe_pages_visited(alloc, head, q.data(), pruned), 8u);
+}
+
+TEST(Ruler, DenseScoresHighOnAllTasks) {
+  RulerConfig cfg;
+  cfg.seq_len = 8192;
+  cfg.head_dim = 48;
+  cfg.pages = pages(16, 16);
+  cfg.trials = 2;
+  const RulerResult r = run_ruler(cfg);
+  EXPECT_GT(r.retrieval, 85.0);
+  EXPECT_GT(r.multi_hop, 70.0);
+  EXPECT_GT(r.aggregation, 80.0);
+  EXPECT_GT(r.composite(), 80.0);
+}
+
+TEST(Ruler, HierarchicalCloseToDense) {
+  RulerConfig dense_cfg;
+  dense_cfg.seq_len = 8192;
+  dense_cfg.head_dim = 48;
+  dense_cfg.pages = pages(64, 16);
+  dense_cfg.trials = 2;
+  RulerConfig lserve_cfg = dense_cfg;
+  lserve_cfg.policy.kind = PolicyKind::kHierSelect;
+  lserve_cfg.policy.selector.token_budget = 1024;
+  const double dense = run_ruler(dense_cfg).composite();
+  const double sparse = run_ruler(lserve_cfg).composite();
+  EXPECT_GT(sparse, dense - 10.0);
+}
+
+TEST(Ruler, LargerBudgetNeverHurts) {
+  // Table 3 shape: LServe-8192 >= LServe-4096 (here scaled down).
+  RulerConfig small_budget;
+  small_budget.seq_len = 8192;
+  small_budget.head_dim = 48;
+  small_budget.pages = pages(64, 16);
+  small_budget.trials = 2;
+  small_budget.policy.kind = PolicyKind::kHierSelect;
+  small_budget.policy.selector.token_budget = 512;
+  RulerConfig big_budget = small_budget;
+  big_budget.policy.selector.token_budget = 2048;
+  EXPECT_GE(run_ruler(big_budget).composite() + 3.0,
+            run_ruler(small_budget).composite());
+}
+
+TEST(Tracking, ReuseIntervalAccuracyIsFlatThenDrops) {
+  // Table 6 shape: interval 4 ~ interval 1; interval 16 degrades.
+  RulerConfig cfg;
+  cfg.seq_len = 8192;
+  cfg.head_dim = 48;
+  cfg.pages = pages(64, 16);
+  cfg.trials = 2;
+  cfg.policy.kind = PolicyKind::kHierSelect;
+  cfg.policy.selector.token_budget = 512;
+
+  cfg.reuse_interval = 1;
+  const double acc1 = run_tracking(cfg);
+  cfg.reuse_interval = 4;
+  const double acc4 = run_tracking(cfg);
+  cfg.reuse_interval = 16;
+  const double acc16 = run_tracking(cfg);
+  EXPECT_GT(acc1, 80.0);
+  EXPECT_GT(acc4, acc1 - 8.0);   // flat region
+  EXPECT_LE(acc16, acc4 + 1e-9); // monotone degradation
+}
+
+TEST(LongBench, DenseSuiteScoresHigh) {
+  LongBenchConfig cfg;
+  cfg.pages = pages(16, 16);
+  cfg.head_dim = 48;
+  cfg.trials = 2;
+  const auto rows = run_longbench(cfg);
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0].task, "2WikiMQA");
+  EXPECT_EQ(rows[7].task, "TriviaQA");
+  EXPECT_GT(longbench_average(rows), 75.0);
+}
+
+TEST(LongBench, LServePolicyWithinDelta) {
+  // Table 2 shape: |avg(LServe) - avg(dense)| small.
+  LongBenchConfig dense_cfg;
+  dense_cfg.pages = pages(64, 16);
+  dense_cfg.head_dim = 48;
+  dense_cfg.trials = 2;
+  LongBenchConfig lserve_cfg = dense_cfg;
+  lserve_cfg.policy.kind = PolicyKind::kHierSelect;
+  lserve_cfg.policy.selector.token_budget = 1024;
+  const double dense = longbench_average(run_longbench(dense_cfg));
+  const double sparse = longbench_average(run_longbench(lserve_cfg));
+  EXPECT_LT(dense - sparse, 8.0);
+}
+
+}  // namespace
+}  // namespace lserve::eval

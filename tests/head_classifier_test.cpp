@@ -1,0 +1,130 @@
+// Tests for DuoAttention-style head classification
+// (src/sparse/head_classifier).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/workload.hpp"
+#include "numeric/rng.hpp"
+#include "sparse/head_classifier.hpp"
+
+namespace lserve::sparse {
+namespace {
+
+// Builds a (queries, stream) pair for a head that depends on long-range
+// retrieval: needle planted mid-context (outside the Λ mask of later
+// rows), probes aligned to it with length-aware strength.
+float retrieval_head_gate(std::uint64_t seed) {
+  model::StreamConfig sc;
+  sc.n_tokens = 384;
+  sc.head_dim = 32;
+  sc.seed = seed;
+  model::TokenStream stream = model::smooth_stream(sc);
+  const float strength = model::salient_strength(sc.n_tokens, sc.head_dim);
+  const auto needle =
+      model::plant_needle(stream, sc.n_tokens / 2, strength, seed + 1);
+  num::Tensor queries(sc.n_tokens, sc.head_dim);
+  for (std::size_t t = 0; t < sc.n_tokens; ++t) {
+    const auto q = model::probe_query(needle, strength, 0.1f,
+                                      num::split_seed(seed, t));
+    std::copy(q.begin(), q.end(), queries.row(t));
+  }
+  return measure_head_gate(queries.view(), stream.keys.view(),
+                           stream.values.view(), /*sink=*/16, /*local=*/64,
+                           0.1768f);
+}
+
+// A head whose queries track the recent key walk (locally supported), with
+// enough gain that the local window dominates the softmax.
+float local_head_gate(std::uint64_t seed) {
+  model::StreamConfig sc;
+  sc.n_tokens = 384;
+  sc.head_dim = 32;
+  sc.seed = seed;
+  model::TokenStream stream = model::smooth_stream(sc);
+  const float strength = model::salient_strength(sc.n_tokens, sc.head_dim);
+  const float gain = strength * strength;
+  num::Tensor queries(sc.n_tokens, sc.head_dim);
+  for (std::size_t t = 0; t < sc.n_tokens; ++t) {
+    for (std::size_t c = 0; c < sc.head_dim; ++c) {
+      queries.at(t, c) = gain * stream.keys.at(t, c);
+    }
+  }
+  return measure_head_gate(queries.view(), stream.keys.view(),
+                           stream.values.view(), 16, 64, 0.1768f);
+}
+
+TEST(HeadGate, RetrievalHeadsScoreHigherThanLocalHeads) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_GT(retrieval_head_gate(seed), local_head_gate(seed) + 0.05f)
+        << "seed " << seed;
+  }
+}
+
+TEST(HeadGate, BoundedInUnitInterval) {
+  const float g = retrieval_head_gate(4);
+  EXPECT_GE(g, 0.0f);
+  EXPECT_LT(g, 1.0f);
+}
+
+TEST(Classification, ExactStreamingCount) {
+  const std::vector<float> gates{0.9f, 0.1f, 0.5f, 0.2f, 0.8f, 0.3f};
+  const auto kinds = classify_by_quantile(gates, 0.5);
+  std::size_t streaming = 0;
+  for (auto k : kinds) streaming += (k == kv::HeadKind::kStreaming);
+  EXPECT_EQ(streaming, 3u);
+  // The three lowest gates (0.1, 0.2, 0.3 at indices 1, 3, 5) stream.
+  EXPECT_EQ(kinds[1], kv::HeadKind::kStreaming);
+  EXPECT_EQ(kinds[3], kv::HeadKind::kStreaming);
+  EXPECT_EQ(kinds[5], kv::HeadKind::kStreaming);
+  EXPECT_EQ(kinds[0], kv::HeadKind::kDense);
+}
+
+TEST(Classification, ZeroFractionKeepsAllDense) {
+  const std::vector<float> gates{0.1f, 0.2f};
+  for (auto k : classify_by_quantile(gates, 0.0)) {
+    EXPECT_EQ(k, kv::HeadKind::kDense);
+  }
+}
+
+TEST(Classification, FullFractionStreamsEverything) {
+  const std::vector<float> gates{0.1f, 0.2f, 0.9f};
+  for (auto k : classify_by_quantile(gates, 1.0)) {
+    EXPECT_EQ(k, kv::HeadKind::kStreaming);
+  }
+}
+
+TEST(Classification, TiesBrokenDeterministically) {
+  const std::vector<float> gates{0.5f, 0.5f, 0.5f, 0.5f};
+  const auto kinds = classify_by_quantile(gates, 0.5);
+  std::size_t streaming = 0;
+  for (auto k : kinds) streaming += (k == kv::HeadKind::kStreaming);
+  EXPECT_EQ(streaming, 2u);
+}
+
+TEST(Classification, ThresholdIsQuantile) {
+  const std::vector<float> gates{0.1f, 0.2f, 0.3f, 0.4f};
+  // tau at 50% = 2nd lowest gate = 0.2 (DuoAttention's "median" rule).
+  EXPECT_FLOAT_EQ(gate_threshold(gates, 0.5), 0.2f);
+  EXPECT_FLOAT_EQ(gate_threshold(gates, 1.0), 0.4f);
+  EXPECT_FLOAT_EQ(gate_threshold(gates, 0.0), -1.0f);
+}
+
+TEST(HeadGate, EndToEndSeparationClassifiesCorrectly) {
+  // Mixed population: even indices retrieval-like, odd local-like; the
+  // classifier must stream exactly the local heads.
+  std::vector<float> gates;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    gates.push_back(i % 2 == 0 ? retrieval_head_gate(10 + i)
+                               : local_head_gate(10 + i));
+  }
+  const auto kinds = classify_by_quantile(gates, 0.5);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(kinds[i], i % 2 == 0 ? kv::HeadKind::kDense
+                                   : kv::HeadKind::kStreaming)
+        << "head " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lserve::sparse

@@ -1,0 +1,155 @@
+// Cross-module integration tests: the full LServe pipeline against the
+// dense pipeline on the same weights, plus memory/work accounting across
+// the whole stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attn/dense_attention.hpp"
+#include "baselines/baseline_engines.hpp"
+#include "eval/metrics.hpp"
+#include "numeric/math.hpp"
+#include "serve/scheduler.hpp"
+
+namespace lserve {
+namespace {
+
+std::vector<std::int32_t> prompt_ids(std::size_t n) {
+  std::vector<std::int32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = static_cast<std::int32_t>((11 * i + 2) % 251);
+  }
+  return ids;
+}
+
+serve::EngineConfig small_dense() {
+  serve::EngineConfig cfg = baselines::vllm_config(model::tiny());
+  cfg.dense_pages.page_size = 16;
+  cfg.dense_pages.logical_page_size = 16;
+  cfg.tiling = {16, 16};
+  cfg.pool_pages = 512;
+  return cfg;
+}
+
+serve::EngineConfig small_lserve() {
+  serve::EngineConfig cfg = baselines::lserve_config(model::tiny());
+  cfg.dense_pages.page_size = 16;
+  cfg.dense_pages.logical_page_size = 4;
+  cfg.dense_pages.dtype = num::KvDtype::kInt8;
+  cfg.tiling = {16, 16};
+  cfg.streaming = {/*sink=*/16, /*local=*/64};
+  cfg.selector.token_budget = 128;
+  cfg.reuse_interval = 4;
+  cfg.pool_pages = 512;
+  return cfg;
+}
+
+// With real sparsity active (pruned budget, streaming heads, quantized
+// KV) on a RANDOM-weight transformer, attention is diffuse, so pruning
+// legitimately changes outputs — token-level parity under pruning is only
+// expected for peaked (retrieval-like) attention, which the eval_test
+// probes validate at the attention level. At the engine level we assert
+// (a) the generation stays well-formed under aggressive sparsity and
+// (b) sparsity becomes inactive-equivalent when it covers the context
+// (the covering case is Engine.CoveringSparsityMatchesDenseExactly).
+TEST(Integration, SparseEngineGeneratesWellFormedOutput) {
+  serve::Engine dense(small_dense());
+  serve::Engine sparse(small_lserve());
+  const auto ids = prompt_ids(192);
+
+  const auto sd = dense.create_sequence();
+  const auto ss = sparse.create_sequence();
+  const auto out_d = dense.generate(sd, ids, 8);
+  const auto out_s = sparse.generate(ss, ids, 8);
+  ASSERT_EQ(out_d.size(), out_s.size());
+  const auto vocab =
+      static_cast<std::int32_t>(sparse.config().model.vocab);
+  for (auto t : out_s) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, vocab);
+  }
+  // Determinism under sparsity: a second sparse engine reproduces the
+  // trajectory token for token.
+  serve::Engine sparse2(small_lserve());
+  const auto ss2 = sparse2.create_sequence();
+  EXPECT_EQ(sparse2.generate(ss2, ids, 8), out_s);
+}
+
+TEST(Integration, SparsityReducesDecodeWorkAndMemory) {
+  serve::Engine dense(small_dense());
+  serve::Engine sparse(small_lserve());
+  const auto ids = prompt_ids(256);
+
+  const auto sd = dense.create_sequence();
+  const auto ss = sparse.create_sequence();
+  dense.generate(sd, ids, 6);
+  sparse.generate(ss, ids, 6);
+
+  // Work: decode token iterations with pruning+streaming stay well below
+  // the dense engine's.
+  EXPECT_LT(sparse.stats().tokens_visited,
+            dense.stats().tokens_visited * 3 / 4);
+  // Memory: int8 KV + evicted streaming pages.
+  EXPECT_LT(sparse.kv_device_bytes(), 0.7 * dense.kv_device_bytes());
+}
+
+TEST(Integration, SchedulerOverLServeEngineCompletesBatch) {
+  serve::Engine engine(small_lserve());
+  serve::Scheduler sched(engine, 2);
+  for (int i = 0; i < 4; ++i) {
+    serve::Request req;
+    req.prompt = prompt_ids(64 + 16 * i);
+    req.max_new_tokens = 4;
+    sched.submit(std::move(req));
+  }
+  const auto results = sched.drain();
+  EXPECT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_EQ(r.output.size(), 4u);
+  EXPECT_EQ(engine.dense_allocator().pages_in_use(), 0u);
+  EXPECT_EQ(engine.stream_allocator().pages_in_use(), 0u);
+}
+
+TEST(Integration, CalibratedEngineStillGeneratesConsistently) {
+  serve::EngineConfig cfg = small_lserve();
+  cfg.streaming = {/*sink=*/16, /*local=*/48};
+  serve::Engine engine(cfg);
+  engine.calibrate_head_kinds();
+  const auto ids = prompt_ids(96);
+  const auto seq = engine.create_sequence();
+  const auto out = engine.generate(seq, ids, 5);
+  EXPECT_EQ(out.size(), 5u);
+  for (auto t : out) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, static_cast<std::int32_t>(cfg.model.vocab));
+  }
+}
+
+// Probe-level agreement between the engine's fused decode and the eval
+// harness's single-head probes: both must implement the same attention.
+TEST(Integration, EvalProbeMatchesKernelOnSameCache) {
+  kv::PageConfig pages;
+  pages.page_size = 16;
+  pages.logical_page_size = 4;
+  pages.head_dim = 32;
+  kv::PageAllocator alloc(pages, 64);
+  kv::HeadCache head;
+  model::StreamConfig sc;
+  sc.n_tokens = 512;
+  sc.head_dim = 32;
+  model::TokenStream stream = model::smooth_stream(sc);
+  eval::fill_head_cache(alloc, head, stream);
+  std::vector<float> q(32, 0.3f);
+
+  eval::ProbePolicy dense_policy;
+  const auto probe = eval::run_probe(alloc, head, q.data(), dense_policy);
+  std::vector<float> direct(32);
+  attn::dense_paged_decode(alloc, head, q.data(), 32,
+                           1.0f / std::sqrt(32.0f), direct.data());
+  for (std::size_t c = 0; c < 32; ++c) {
+    EXPECT_NEAR(probe[c], direct[c], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace lserve

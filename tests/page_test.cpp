@@ -1,0 +1,156 @@
+// Tests for physical KV pages and K_stats (src/kv/page, src/kv/kstats).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kv/kstats.hpp"
+#include "kv/page.hpp"
+#include "numeric/rng.hpp"
+
+namespace lserve::kv {
+namespace {
+
+PageConfig small_config(num::KvDtype dtype = num::KvDtype::kFp16) {
+  PageConfig cfg;
+  cfg.page_size = 16;
+  cfg.logical_page_size = 4;
+  cfg.head_dim = 8;
+  cfg.dtype = dtype;
+  return cfg;
+}
+
+TEST(PageConfig, Validity) {
+  EXPECT_TRUE(small_config().valid());
+  PageConfig bad = small_config();
+  bad.logical_page_size = 5;  // does not divide 16
+  EXPECT_FALSE(bad.valid());
+  bad = small_config();
+  bad.page_size = 0;
+  EXPECT_FALSE(bad.valid());
+  EXPECT_EQ(small_config().logical_pages(), 4u);
+}
+
+TEST(Page, AppendLoadRoundTrip) {
+  Page page;
+  page.init(small_config());
+  num::Rng rng(1);
+  std::vector<std::vector<float>> keys, vals;
+  for (std::size_t t = 0; t < 16; ++t) {
+    std::vector<float> k(8), v(8);
+    rng.fill_gaussian(k, 1.0f);
+    rng.fill_gaussian(v, 1.0f);
+    EXPECT_EQ(page.append(k.data(), v.data()), t);
+    keys.push_back(k);
+    vals.push_back(v);
+  }
+  EXPECT_TRUE(page.full());
+  std::vector<float> out(8);
+  for (std::size_t t = 0; t < 16; ++t) {
+    page.load_key(t, out.data());
+    for (std::size_t c = 0; c < 8; ++c) EXPECT_FLOAT_EQ(out[c], keys[t][c]);
+    page.load_value(t, out.data());
+    for (std::size_t c = 0; c < 8; ++c) EXPECT_FLOAT_EQ(out[c], vals[t][c]);
+  }
+}
+
+TEST(Page, ResetClearsCountButKeepsStorage) {
+  Page page;
+  page.init(small_config());
+  std::vector<float> k(8, 1.0f), v(8, 2.0f);
+  page.append(k.data(), v.data());
+  EXPECT_EQ(page.size(), 1u);
+  page.reset();
+  EXPECT_TRUE(page.empty());
+  EXPECT_EQ(page.append(k.data(), v.data()), 0u);
+}
+
+TEST(Page, KStatsTrackChannelMinMaxPerLogicalPage) {
+  Page page;
+  page.init(small_config());
+  // Logical page 0 = slots 0..3. Plant known extremes in channel 2.
+  std::vector<float> v(8, 0.0f);
+  for (std::size_t t = 0; t < 16; ++t) {
+    std::vector<float> k(8, 0.5f);
+    k[2] = (t == 1) ? 5.0f : (t == 3) ? -4.0f : 0.5f;
+    page.append(k.data(), v.data());
+  }
+  const KStats& stats = page.kstats();
+  EXPECT_TRUE(stats.initialized(0));
+  EXPECT_FLOAT_EQ(stats.kmax(0)[2], 5.0f);
+  EXPECT_FLOAT_EQ(stats.kmin(0)[2], -4.0f);
+  // Logical page 1 (slots 4..7) saw only 0.5 in channel 2.
+  EXPECT_FLOAT_EQ(stats.kmax(1)[2], 0.5f);
+  EXPECT_FLOAT_EQ(stats.kmin(1)[2], 0.5f);
+}
+
+TEST(Page, QuantizedPagesFoldQuantizedKeysIntoStats) {
+  // Stats must reflect what the kernel reads back (the quantized keys),
+  // so selector scores and attention agree.
+  PageConfig cfg = small_config(num::KvDtype::kInt4);
+  Page page;
+  page.init(cfg);
+  num::Rng rng(3);
+  std::vector<float> k(8), v(8, 0.0f);
+  rng.fill_gaussian(k, 2.0f);
+  page.append(k.data(), v.data());
+  std::vector<float> back(8);
+  page.load_key(0, back.data());
+  const KStats& stats = page.kstats();
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_FLOAT_EQ(stats.kmax(0)[c], back[c]);
+    EXPECT_FLOAT_EQ(stats.kmin(0)[c], back[c]);
+  }
+}
+
+TEST(Page, DeviceBytesAccounting) {
+  Page fp_page;
+  fp_page.init(small_config(num::KvDtype::kFp16));
+  Page i4_page;
+  i4_page.init(small_config(num::KvDtype::kInt4));
+  EXPECT_GT(fp_page.device_bytes(), i4_page.device_bytes());
+  PageConfig no_stats = small_config();
+  no_stats.track_kstats = false;
+  Page plain;
+  plain.init(no_stats);
+  EXPECT_GT(fp_page.device_bytes(), plain.device_bytes());
+}
+
+TEST(KStats, LogicalPageScoreUpperBoundsTrueMax) {
+  // Property at the heart of Quest/LServe selection: the min/max score
+  // upper-bounds q.k for every key folded into the logical page.
+  num::Rng rng(7);
+  const std::size_t d = 16;
+  KStats stats(1, d);
+  std::vector<std::vector<float>> keys;
+  for (std::size_t t = 0; t < 4; ++t) {
+    std::vector<float> k(d);
+    rng.fill_gaussian(k, 1.5f);
+    stats.update(t, 4, k.data());
+    keys.push_back(k);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> q(d);
+    rng.fill_gaussian(q, 2.0f);
+    const float bound =
+        logical_page_score(q.data(), stats.kmax(0), stats.kmin(0), d);
+    for (const auto& k : keys) {
+      float s = 0.0f;
+      for (std::size_t c = 0; c < d; ++c) s += q[c] * k[c];
+      EXPECT_GE(bound, s - 1e-4f);
+    }
+  }
+}
+
+TEST(KStats, ResetClearsInitialization) {
+  KStats stats(2, 4);
+  const float k[4] = {1, 2, 3, 4};
+  stats.update(0, 4, k);
+  EXPECT_TRUE(stats.initialized(0));
+  EXPECT_FALSE(stats.initialized(1));
+  stats.reset();
+  EXPECT_FALSE(stats.initialized(0));
+}
+
+}  // namespace
+}  // namespace lserve::kv

@@ -1,0 +1,124 @@
+// Tests for the planted-structure workload generators (src/model/workload).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/workload.hpp"
+#include "numeric/math.hpp"
+
+namespace lserve::model {
+namespace {
+
+TEST(SmoothStream, ShapesAndDeterminism) {
+  StreamConfig cfg;
+  cfg.n_tokens = 128;
+  cfg.head_dim = 16;
+  cfg.seed = 9;
+  const TokenStream a = smooth_stream(cfg);
+  const TokenStream b = smooth_stream(cfg);
+  EXPECT_EQ(a.keys.rows(), 128u);
+  EXPECT_EQ(a.keys.cols(), 16u);
+  for (std::size_t i = 0; i < a.keys.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.keys.data()[i], b.keys.data()[i]);
+  }
+}
+
+TEST(SmoothStream, AdjacentKeysMoreSimilarThanDistant) {
+  StreamConfig cfg;
+  cfg.n_tokens = 2048;
+  cfg.head_dim = 32;
+  cfg.locality = 0.95f;
+  cfg.sink_tokens = 0;
+  const TokenStream s = smooth_stream(cfg);
+  double near = 0.0, far = 0.0;
+  int count = 0;
+  for (std::size_t t = 100; t < 2000; t += 50) {
+    near += num::cosine_similarity(s.keys.row(t), s.keys.row(t + 1), 32);
+    far += num::cosine_similarity(s.keys.row(t), s.keys.row(t + 40), 32);
+    ++count;
+  }
+  EXPECT_GT(near / count, far / count + 0.2);
+}
+
+TEST(SmoothStream, SinkKeysHaveBoostedNorm) {
+  StreamConfig cfg;
+  cfg.n_tokens = 64;
+  cfg.head_dim = 16;
+  cfg.sink_tokens = 4;
+  cfg.sink_boost = 3.0f;
+  const TokenStream s = smooth_stream(cfg);
+  double sink_norm = 0.0, body_norm = 0.0;
+  for (std::size_t t = 0; t < 4; ++t)
+    sink_norm += num::l2_norm(s.keys.row(t), 16);
+  for (std::size_t t = 20; t < 60; ++t)
+    body_norm += num::l2_norm(s.keys.row(t), 16);
+  EXPECT_GT(sink_norm / 4.0, 1.5 * body_norm / 40.0);
+}
+
+TEST(Needle, PlantedKeyAlignsWithDirection) {
+  StreamConfig cfg;
+  cfg.n_tokens = 256;
+  cfg.head_dim = 16;
+  TokenStream s = smooth_stream(cfg);
+  const Needle needle = plant_needle(s, 100, 4.0f, 3);
+  EXPECT_EQ(needle.pos, 100u);
+  EXPECT_NEAR(num::cosine_similarity(s.keys.row(100), needle.direction.data(),
+                                     16),
+              1.0f, 1e-5f);
+  EXPECT_NEAR(num::l2_norm(s.keys.row(100), 16), 4.0f, 1e-4f);
+  // Value carries the payload verbatim.
+  for (std::size_t c = 0; c < 16; ++c) {
+    EXPECT_FLOAT_EQ(s.values.at(100, c), needle.payload[c]);
+  }
+}
+
+TEST(Needle, ProbeQueryAlignedWithinNoise) {
+  StreamConfig cfg;
+  cfg.n_tokens = 64;
+  cfg.head_dim = 32;
+  TokenStream s = smooth_stream(cfg);
+  const Needle needle = plant_needle(s, 10, 4.0f, 5);
+  const auto exact = probe_query(needle, 4.0f, 0.0f, 6);
+  EXPECT_NEAR(
+      num::cosine_similarity(exact.data(), needle.direction.data(), 32), 1.0f,
+      1e-5f);
+  const auto noisy = probe_query(needle, 4.0f, 0.2f, 7);
+  EXPECT_GT(num::cosine_similarity(noisy.data(), needle.direction.data(), 32),
+            0.8f);
+}
+
+TEST(Chain, PayloadsLinkToNextDirection) {
+  StreamConfig cfg;
+  cfg.n_tokens = 512;
+  cfg.head_dim = 16;
+  TokenStream s = smooth_stream(cfg);
+  const auto chain = plant_chain(s, {50, 200, 400}, 4.0f, 8);
+  ASSERT_EQ(chain.size(), 3u);
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_FLOAT_EQ(chain[i].payload[c], chain[i + 1].direction[c]);
+      EXPECT_FLOAT_EQ(s.values.at(chain[i].pos, c), chain[i + 1].direction[c]);
+    }
+  }
+}
+
+TEST(Aggregation, SitesShareDirectionWithDistinctPayloads) {
+  StreamConfig cfg;
+  cfg.n_tokens = 512;
+  cfg.head_dim = 16;
+  TokenStream s = smooth_stream(cfg);
+  const auto plant = plant_aggregation(s, {64, 128, 256}, 4.0f, 9);
+  ASSERT_EQ(plant.payloads.size(), 3u);
+  for (std::size_t pos : plant.positions) {
+    EXPECT_NEAR(num::cosine_similarity(s.keys.row(pos),
+                                       plant.direction.data(), 16),
+                1.0f, 1e-5f);
+  }
+  // Payloads should be mutually distinct (independent unit vectors).
+  EXPECT_LT(num::cosine_similarity(plant.payloads[0].data(),
+                                   plant.payloads[1].data(), 16),
+            0.9f);
+}
+
+}  // namespace
+}  // namespace lserve::model
