@@ -1,8 +1,14 @@
 // Shared helpers for the benchmark harness: wall-clock timing, table
 // printing, and the serving-policy lineup used across figures.
-#pragma once
+//
+// Classic include guard (not #pragma once) so the header also syntax-checks
+// standalone as a main file.
+#ifndef LSERVE_BENCH_COMMON_HPP_
+#define LSERVE_BENCH_COMMON_HPP_
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -91,3 +97,5 @@ inline double kv_bytes(const model::ModelConfig& m,
 }
 
 }  // namespace lserve::bench
+
+#endif  // LSERVE_BENCH_COMMON_HPP_

@@ -128,9 +128,8 @@ void fused_sparse_decode(const kv::PageAllocator& dense_alloc,
                          const FusedDecodeConfig& cfg, num::MatView out,
                          DecodeWorkStats* stats) {
   const std::size_t head_dim = q_heads.cols;
-  const std::size_t n_q_heads = q_heads.rows;
   const std::size_t kv_heads = cache.kv_heads();
-  assert(n_q_heads == kv_heads * group_size);
+  assert(q_heads.rows == kv_heads * group_size);
   const float scale = resolve_scale(cfg.scale, head_dim);
   const std::size_t seq_tokens = cache.tokens();
 

@@ -1,55 +1,102 @@
 #include "kv/page_allocator.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace lserve::kv {
 
 PageAllocator::PageAllocator(PageConfig cfg, std::size_t capacity)
-    : cfg_(cfg) {
+    : cfg_(cfg), chunks_(new std::atomic<Page*>[kMaxChunks]) {
   assert(cfg.valid());
-  pool_.resize(capacity);
-  live_.assign(capacity, 0);
-  free_list_.reserve(capacity);
-  // LIFO order: page 0 is handed out first.
-  for (std::size_t i = capacity; i > 0; --i) {
-    free_list_.push_back(static_cast<PageId>(i - 1));
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
   }
+  const std::size_t chunks =
+      capacity == 0 ? 1 : (capacity + kChunkSize - 1) / kChunkSize;
+  for (std::size_t i = 0; i < chunks; ++i) add_chunk();
+}
+
+void PageAllocator::add_chunk() {
+  const std::size_t index = chunk_storage_.size();
+  if (index >= kMaxChunks) {
+    throw std::length_error("PageAllocator: page pool exhausted");
+  }
+  chunk_storage_.push_back(std::make_unique<Page[]>(kChunkSize));
+  // Publish the chunk before any PageId pointing into it can be handed out.
+  chunks_[index].store(chunk_storage_.back().get(),
+                       std::memory_order_release);
+  live_.resize(total_slots_ + kChunkSize, 0);
+  // LIFO order within the chunk: its lowest id is handed out first.
+  for (std::size_t i = kChunkSize; i > 0; --i) {
+    free_list_.push_back(static_cast<PageId>(total_slots_ + i - 1));
+  }
+  total_slots_ += kChunkSize;
 }
 
 PageId PageAllocator::allocate() {
-  if (free_list_.empty()) {
-    const PageId id = static_cast<PageId>(pool_.size());
-    pool_.emplace_back();
-    live_.push_back(0);
+  PageId id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_list_.empty()) add_chunk();
+    id = free_list_.back();
+    free_list_.pop_back();
+    assert(!live_[id] && "allocating a live page");
+    ++in_use_;
+    peak_in_use_ = std::max(peak_in_use_, in_use_);
+  }
+  // The popped id is exclusively ours, so the heavy storage work runs
+  // outside the lock; the page is marked live only once it is coherent,
+  // so device_bytes_in_use() never reads a page mid-init.
+  Page& page = get(id);
+  try {
+    if (!page.initialized()) {
+      page.init(cfg_);
+    } else {
+      page.reset();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --in_use_;
     free_list_.push_back(id);
+    throw;
   }
-  const PageId id = free_list_.back();
-  free_list_.pop_back();
-  Page& page = pool_[id];
-  if (!page.initialized()) {
-    page.init(cfg_);
-  } else {
-    page.reset();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    live_[id] = 1;
   }
-  assert(!live_[id] && "allocating a live page");
-  live_[id] = 1;
-  ++in_use_;
-  peak_in_use_ = std::max(peak_in_use_, in_use_);
   return id;
 }
 
 void PageAllocator::free(PageId id) noexcept {
-  assert(id < pool_.size());
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(id < total_slots_);
   assert(live_[id] && "double free of a KV page");
   live_[id] = 0;
   --in_use_;
   free_list_.push_back(id);
 }
 
+std::size_t PageAllocator::capacity() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_slots_;
+}
+
+std::size_t PageAllocator::pages_in_use() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_use_;
+}
+
+std::size_t PageAllocator::peak_pages_in_use() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_in_use_;
+}
+
 double PageAllocator::device_bytes_in_use() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
   double total = 0.0;
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
-    if (live_[i]) total += pool_[i].device_bytes();
+  for (std::size_t i = 0; i < total_slots_; ++i) {
+    if (live_[i]) total += get(static_cast<PageId>(i)).device_bytes();
   }
   return total;
 }

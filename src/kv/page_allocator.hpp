@@ -4,9 +4,19 @@
 // a LIFO free list. Sequences hold PageIds, never pointers, so page tables
 // stay trivially copyable — the property that makes selector output ("a
 // shorter page table") cheap to build every decode step.
+//
+// Thread safety: allocate()/free() may be called concurrently from the
+// batched decode path, so both are mutex-guarded. get() is lock-free — pages
+// live in fixed-size chunks behind a preallocated directory of atomic
+// pointers, so growing the pool never moves existing Page objects and a
+// Page& stays valid across concurrent allocations. Concurrent access to the
+// *same* page is the caller's problem (a page belongs to one sequence).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "kv/page.hpp"
@@ -16,33 +26,58 @@ namespace lserve::kv {
 /// Fixed-config page pool with O(1) allocate/free.
 class PageAllocator {
  public:
-  /// `capacity` pages are reserved up front; storage inside each page is
-  /// initialized lazily on first allocation.
+  /// At least `capacity` page slots are reserved up front (rounded up to a
+  /// whole chunk); storage inside each page is initialized lazily on first
+  /// allocation.
   PageAllocator(PageConfig cfg, std::size_t capacity);
 
+  PageAllocator(const PageAllocator&) = delete;
+  PageAllocator& operator=(const PageAllocator&) = delete;
+
   /// Allocates a page; grows the pool if the free list is exhausted.
+  /// Thread-safe.
   PageId allocate();
 
   /// Returns a page to the free list. Double-free is a programming error
-  /// (checked in debug builds).
+  /// (checked in debug builds). Thread-safe.
   void free(PageId id) noexcept;
 
-  Page& get(PageId id) noexcept { return pool_[id]; }
-  const Page& get(PageId id) const noexcept { return pool_[id]; }
+  Page& get(PageId id) noexcept {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & kChunkMask];
+  }
+  const Page& get(PageId id) const noexcept {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & kChunkMask];
+  }
 
   const PageConfig& config() const noexcept { return cfg_; }
-  std::size_t capacity() const noexcept { return pool_.size(); }
-  std::size_t pages_in_use() const noexcept { return in_use_; }
-  std::size_t peak_pages_in_use() const noexcept { return peak_in_use_; }
+  std::size_t capacity() const noexcept;
+  std::size_t pages_in_use() const noexcept;
+  std::size_t peak_pages_in_use() const noexcept;
 
   /// Total device bytes of pages currently in use.
   double device_bytes_in_use() const noexcept;
 
  private:
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  /// Directory slots preallocated up front; bounds the pool at
+  /// kMaxChunks * kChunkSize pages (8M with the defaults).
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;
+
+  /// Appends one chunk of default-constructed pages (mu_ must be held).
+  void add_chunk();
+
   PageConfig cfg_;
-  std::vector<Page> pool_;
-  std::vector<PageId> free_list_;
-  std::vector<std::uint8_t> live_;
+  std::unique_ptr<std::atomic<Page*>[]> chunks_;
+  std::vector<std::unique_ptr<Page[]>> chunk_storage_;  // owns the pages.
+
+  mutable std::mutex mu_;
+  std::size_t total_slots_ = 0;       ///< created page slots (all chunks).
+  std::vector<PageId> free_list_;     ///< LIFO; guarded by mu_.
+  std::vector<std::uint8_t> live_;    ///< per-slot liveness; guarded by mu_.
   std::size_t in_use_ = 0;
   std::size_t peak_in_use_ = 0;
 };

@@ -6,6 +6,7 @@
 #include "model/workload.hpp"
 #include "numeric/math.hpp"
 #include "numeric/rng.hpp"
+#include "serve/thread_pool.hpp"
 
 namespace lserve::serve {
 namespace {
@@ -193,7 +194,8 @@ void Engine::forward_prefill(Sequence& seq, num::Tensor& hidden,
   stats_.prefill_tokens += n;
 }
 
-void Engine::forward_decode(Sequence& seq, num::Tensor& hidden) {
+void Engine::forward_decode(Sequence& seq, num::Tensor& hidden,
+                            attn::DecodeWorkStats& work) {
   const std::size_t h = cfg_.model.hidden();
   const std::size_t kvd = cfg_.model.kv_dim();
   const std::size_t d = cfg_.model.head_dim;
@@ -204,7 +206,6 @@ void Engine::forward_decode(Sequence& seq, num::Tensor& hidden) {
   num::Tensor k(1, kvd);
   num::Tensor v(1, kvd);
   num::Tensor attn_out(1, h);
-  attn::DecodeWorkStats work;
 
   for (std::size_t layer = 0; layer < cfg_.model.layers; ++layer) {
     tf_.rms_norm(hidden.view(), layer, normed.view());
@@ -224,9 +225,6 @@ void Engine::forward_decode(Sequence& seq, num::Tensor& hidden) {
     tf_.output_project(attn_out.view(), layer, hidden.view());
     tf_.ffn(hidden.view(), layer);
   }
-  stats_.pages_visited += work.pages_visited;
-  stats_.tokens_visited += work.tokens_visited;
-  ++stats_.decode_steps;
 }
 
 std::int32_t Engine::prefill(SequenceId id,
@@ -252,19 +250,20 @@ std::int32_t Engine::prefill(SequenceId id,
   return next;
 }
 
-std::int32_t Engine::decode(SequenceId id, std::int32_t token) {
-  Sequence& seq = *sequences_[id];
+std::int32_t Engine::decode_one(Sequence& seq, std::int32_t token,
+                                attn::DecodeWorkStats& work) {
   assert(seq.phase == SequencePhase::kRunning);
   const std::int32_t ids[1] = {token};
   num::Tensor hidden = tf_.embed(ids);
-  forward_decode(seq, hidden);
+  forward_decode(seq, hidden, work);
   seq.position += 1;
   ++seq.decode_step;
   const std::int32_t next = tf_.readout_argmax(hidden.row(0));
   seq.last_token = next;
+  return next;
+}
 
-  const std::size_t before = stats_.selector_runs + stats_.selector_reuses;
-  (void)before;
+void Engine::refresh_selector_stats() {
   stats_.selector_runs = 0;
   stats_.selector_reuses = 0;
   for (const auto& s : sequences_) {
@@ -273,6 +272,35 @@ std::int32_t Engine::decode(SequenceId id, std::int32_t token) {
       stats_.selector_reuses += s->selector.reuses();
     }
   }
+}
+
+std::int32_t Engine::decode(SequenceId id, std::int32_t token) {
+  return decode_batch(std::span<const SequenceId>(&id, 1),
+                      std::span<const std::int32_t>(&token, 1))[0];
+}
+
+std::vector<std::int32_t> Engine::decode_batch(
+    std::span<const SequenceId> ids, std::span<const std::int32_t> tokens,
+    ThreadPool* pool) {
+  assert(ids.size() == tokens.size());
+  std::vector<std::int32_t> next(ids.size(), -1);
+  std::vector<attn::DecodeWorkStats> work(ids.size());
+  const auto run = [&](std::size_t i) {
+    next[i] = decode_one(*sequences_[ids[i]], tokens[i], work[i]);
+  };
+  if (pool != nullptr && pool->size() > 1 && ids.size() > 1) {
+    pool->parallel_for(ids.size(), run);
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) run(i);
+  }
+  // Merge after the join, in sequence order, so cumulative telemetry is
+  // bit-identical to decoding the batch serially.
+  for (const auto& w : work) {
+    stats_.pages_visited += w.pages_visited;
+    stats_.tokens_visited += w.tokens_visited;
+    ++stats_.decode_steps;
+  }
+  refresh_selector_stats();
   return next;
 }
 

@@ -22,6 +22,8 @@
 
 namespace lserve::serve {
 
+class ThreadPool;
+
 /// Everything that distinguishes one serving system from another.
 struct EngineConfig {
   model::ModelConfig model;
@@ -91,6 +93,23 @@ class Engine {
   /// Appends `token` and returns the next token (one decode step).
   std::int32_t decode(SequenceId id, std::int32_t token);
 
+  /// One decode step for every sequence in `ids` (feeding `tokens[i]` to
+  /// `ids[i]`), returning the next token per sequence in input order.
+  /// With a non-null `pool` the per-sequence forwards run concurrently;
+  /// results and stats are bit-identical to the serial path: each sequence
+  /// only touches its own state plus the (thread-safe) page allocators,
+  /// and per-call DecodeWorkStats scratch counters are merged into
+  /// EngineStats in sequence order after the join.
+  ///
+  /// Exception contract: if any per-sequence forward throws (page pool
+  /// exhausted at its hard cap, allocation failure), the first exception
+  /// propagates after the join and the sequences of this batch are left
+  /// mid-step — there is no way to resume a half-forwarded sequence, so
+  /// callers must treat the engine as poisoned and stop serving from it.
+  std::vector<std::int32_t> decode_batch(std::span<const SequenceId> ids,
+                                         std::span<const std::int32_t> tokens,
+                                         ThreadPool* pool = nullptr);
+
   /// Convenience: prefill + n greedy decode steps.
   std::vector<std::int32_t> generate(SequenceId id,
                                      std::span<const std::int32_t> prompt,
@@ -108,7 +127,19 @@ class Engine {
   /// mode, appending K/V to `seq`'s caches. `pos0` is the absolute position
   /// of row 0.
   void forward_prefill(Sequence& seq, num::Tensor& hidden, std::size_t pos0);
-  void forward_decode(Sequence& seq, num::Tensor& hidden);
+  /// One transformer forward in decode mode. Work counters go to `work`,
+  /// never to stats_ — callers merge, so concurrent decode_one calls on
+  /// distinct sequences are race-free.
+  void forward_decode(Sequence& seq, num::Tensor& hidden,
+                      attn::DecodeWorkStats& work);
+
+  /// Decodes one token for `seq` without touching stats_ (thread-safe for
+  /// distinct sequences).
+  std::int32_t decode_one(Sequence& seq, std::int32_t token,
+                          attn::DecodeWorkStats& work);
+
+  /// Recomputes the selector run/reuse totals from all live sequences.
+  void refresh_selector_stats();
 
   attn::FusedPrefillConfig prefill_config(std::size_t n_tokens) const;
   attn::FusedDecodeConfig decode_config() const;

@@ -1,11 +1,17 @@
 #include "serve/scheduler.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace lserve::serve {
 
-Scheduler::Scheduler(Engine& engine, std::size_t max_batch)
-    : engine_(engine), max_batch_(max_batch == 0 ? 1 : max_batch) {}
+Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
+                     std::size_t decode_threads)
+    : engine_(engine), max_batch_(max_batch == 0 ? 1 : max_batch) {
+  if (decode_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(decode_threads);
+  }
+}
 
 std::uint64_t Scheduler::submit(Request req) {
   if (req.request_id == 0) req.request_id = next_id_++;
@@ -29,13 +35,41 @@ void Scheduler::admit() {
 }
 
 bool Scheduler::step() {
+  if (poisoned_) {
+    throw std::logic_error(
+        "Scheduler: a decode batch threw; sequences are mid-step and the "
+        "engine cannot keep serving");
+  }
   admit();
   if (running_.empty()) return false;
 
-  for (auto& run : running_) {
+  // Gather this iteration's decode batch (sequences still under budget),
+  // decode it — in parallel when a pool is attached — and append the new
+  // tokens in slot order.
+  std::vector<std::size_t> slots;
+  std::vector<SequenceId> seqs;
+  std::vector<std::int32_t> last;
+  slots.reserve(running_.size());
+  seqs.reserve(running_.size());
+  last.reserve(running_.size());
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    const Running& run = running_[i];
     if (run.output.size() >= run.req.max_new_tokens) continue;
-    const std::int32_t next = engine_.decode(run.seq, run.output.back());
-    run.output.push_back(next);
+    slots.push_back(i);
+    seqs.push_back(run.seq);
+    last.push_back(run.output.back());
+  }
+  std::vector<std::int32_t> next;
+  try {
+    next = engine_.decode_batch(std::span<const SequenceId>(seqs),
+                                std::span<const std::int32_t>(last),
+                                pool_.get());
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    running_[slots[j]].output.push_back(next[j]);
   }
 
   // Retire finished sequences (swap-erase keeps iteration simple).

@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/thread_pool.hpp"
 
 namespace lserve::serve {
 
@@ -35,12 +37,26 @@ struct RequestResult {
 /// FCFS continuous-batching scheduler over one Engine.
 class Scheduler {
  public:
-  Scheduler(Engine& engine, std::size_t max_batch);
+  /// `decode_threads` is the parallelism of each step()'s decode batch:
+  /// 1 (default) decodes sequences serially, exactly as before; >1 runs
+  /// them on a shared ThreadPool; 0 uses hardware concurrency. Outputs,
+  /// EngineStats and completion order are bit-identical at any thread
+  /// count — sequences are independent and the engine merges per-sequence
+  /// work deterministically after each batch. Allocator-level telemetry
+  /// (PageAllocator::peak_pages_in_use, physical page-id assignment) is
+  /// the exception: it depends on allocation interleaving within a batch.
+  Scheduler(Engine& engine, std::size_t max_batch,
+            std::size_t decode_threads = 1);
 
   /// Enqueues a request; returns its id (assigned if 0).
   std::uint64_t submit(Request req);
 
   /// Admits + decodes one iteration. Returns true while work remains.
+  /// If a decode batch throws (see Engine::decode_batch's exception
+  /// contract), the exception propagates and the scheduler is poisoned:
+  /// affected sequences are left mid-step and cannot be resumed, so every
+  /// later step()/drain() throws std::logic_error instead of silently
+  /// decoding against an inconsistent cache.
   bool step();
 
   /// Runs to completion and returns all results in completion order.
@@ -48,6 +64,10 @@ class Scheduler {
 
   std::size_t running() const noexcept { return running_.size(); }
   std::size_t waiting() const noexcept { return waiting_.size(); }
+  /// Decode parallelism (1 when no pool is attached).
+  std::size_t decode_threads() const noexcept {
+    return pool_ == nullptr ? 1 : pool_->size();
+  }
   const std::vector<RequestResult>& results() const noexcept {
     return results_;
   }
@@ -63,10 +83,12 @@ class Scheduler {
 
   Engine& engine_;
   std::size_t max_batch_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null => serial decode.
   std::deque<Request> waiting_;
   std::vector<Running> running_;
   std::vector<RequestResult> results_;
   std::uint64_t next_id_ = 1;
+  bool poisoned_ = false;  ///< a decode batch threw; engine unusable.
 };
 
 }  // namespace lserve::serve

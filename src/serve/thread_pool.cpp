@@ -1,0 +1,124 @@
+#include "serve/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lserve::serve {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads - 1);
+  try {
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation failed partway: shut down and join the workers that
+    // did start, then rethrow, so ~vector never sees a joinable thread.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_indices() {
+  for (;;) {
+    std::size_t i;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (next_index_ >= job_n_ || first_error_ != nullptr) return;
+      i = next_index_++;
+      fn = job_fn_;
+    }
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    bool enlisted = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk,
+                    [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      // Claim an enlistment slot only while there is claimable work left:
+      // workers that wake after the indices drained (or after an error)
+      // go straight back to sleep, and the join never waits on them.
+      if (worker_slots_ > 0 && next_index_ < job_n_ &&
+          first_error_ == nullptr) {
+        --worker_slots_;
+        ++active_workers_;
+        enlisted = true;
+      }
+    }
+    if (!enlisted) continue;
+    run_indices();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    next_index_ = 0;
+    first_error_ = nullptr;
+    active_workers_ = 0;
+    worker_slots_ = std::min(workers_.size(), n - 1);
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  run_indices();  // the caller is one of the pool's threads.
+  // The job is over once no worker is mid-run AND no late-waking worker
+  // can still claim a slot (indices drained, error set, or slots gone).
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return active_workers_ == 0 &&
+           (worker_slots_ == 0 || next_index_ >= job_n_ ||
+            first_error_ != nullptr);
+  });
+  worker_slots_ = 0;  // stale wake-ups after the join must not claim.
+  job_fn_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace lserve::serve

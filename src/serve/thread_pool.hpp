@@ -1,0 +1,65 @@
+// Fixed-size worker pool for batch-parallel decode.
+//
+// One pool is shared by a Scheduler across steps; each parallel_for() is a
+// fork/join region over [0, n) with dynamic (atomic-counter) work stealing.
+// The calling thread participates, so a pool of size T uses T threads total
+// (T-1 workers + caller) and a pool of size <= 1 degenerates to an inline
+// loop with zero synchronization — the serial path stays the serial path.
+//
+// Determinism contract: parallel_for only changes WHICH thread runs fn(i),
+// never how often or with what argument. Callers that keep fn(i) free of
+// cross-index writes (per-sequence state, per-call stats merged after the
+// join) therefore get bit-identical results at any pool size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lserve::serve {
+
+/// Reusable fork/join thread pool.
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism (including the calling thread).
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + caller).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(i) once for every i in [0, n), possibly concurrently, and
+  /// blocks until all calls return. The first exception thrown by any
+  /// fn(i) is rethrown on the calling thread after the join.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a new job.
+  std::condition_variable done_cv_;   ///< caller waits for the join.
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t next_index_ = 0;        ///< next unclaimed i (guarded by mu_).
+  std::size_t active_workers_ = 0;    ///< workers mid-run (claimed a slot).
+  std::size_t worker_slots_ = 0;      ///< unclaimed enlistment slots.
+  std::uint64_t job_epoch_ = 0;       ///< bumped per parallel_for call.
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace lserve::serve

@@ -41,7 +41,9 @@ TEST_P(MaskRoundTrip, RowBlocksMatchKeptCells) {
     total += row.size();
     for (std::size_t t = 0; t < row.size(); ++t) {
       EXPECT_TRUE(mask.kept(i, row[t]));
-      if (t > 0) EXPECT_LT(row[t - 1], row[t]);  // sorted, unique
+      if (t > 0) {
+        EXPECT_LT(row[t - 1], row[t]);  // sorted, unique
+      }
     }
   }
   EXPECT_EQ(total, mask.kept_blocks());

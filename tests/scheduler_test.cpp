@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "baselines/baseline_engines.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/thread_pool.hpp"
 
 namespace lserve::serve {
 namespace {
@@ -100,6 +103,97 @@ TEST(Scheduler, EmptyQueueStepReturnsFalse) {
   Engine engine(cfg());
   Scheduler sched(engine, 2);
   EXPECT_FALSE(sched.step());
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 17) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a failed region.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// LServe-policy config (dynamic selector + streaming heads + reuse) so the
+// concurrency test exercises the full sparse decode path.
+EngineConfig sparse_cfg() {
+  EngineConfig c = baselines::lserve_config(model::tiny());
+  c.dense_pages.page_size = 8;
+  c.dense_pages.logical_page_size = 4;
+  c.streaming = {/*sink_tokens=*/4, /*local_tokens=*/8};
+  c.tiling = {8, 8};
+  c.pool_pages = 512;
+  return c;
+}
+
+struct DrainOutcome {
+  std::vector<RequestResult> results;
+  EngineStats stats;
+};
+
+DrainOutcome drain_at(std::size_t decode_threads) {
+  Engine engine(sparse_cfg());
+  Scheduler sched(engine, 4, decode_threads);
+  // Mixed prompt lengths and decode budgets (seeded via make_request) so
+  // admission, retirement and backfill all fire mid-run.
+  const std::size_t prompts[] = {12, 40, 8, 24, 16, 33};
+  const std::size_t budgets[] = {6, 3, 9, 5, 2, 7};
+  for (std::size_t i = 0; i < 6; ++i) {
+    sched.submit(make_request(prompts[i], budgets[i]));
+  }
+  DrainOutcome out;
+  out.results = sched.drain();
+  out.stats = engine.stats();
+  return out;
+}
+
+TEST(Scheduler, ParallelStepBitIdenticalToSerial) {
+  const DrainOutcome serial = drain_at(1);
+  ASSERT_EQ(serial.results.size(), 6u);
+  for (const std::size_t threads : {2u, 8u}) {
+    const DrainOutcome parallel = drain_at(threads);
+    // Completion order and every token must match bit-for-bit.
+    ASSERT_EQ(parallel.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+      EXPECT_EQ(parallel.results[i].request_id,
+                serial.results[i].request_id);
+      EXPECT_EQ(parallel.results[i].output, serial.results[i].output);
+      EXPECT_EQ(parallel.results[i].decode_steps,
+                serial.results[i].decode_steps);
+    }
+    // Telemetry merges deterministically after each batch's join.
+    EXPECT_EQ(parallel.stats.prefill_tokens, serial.stats.prefill_tokens);
+    EXPECT_EQ(parallel.stats.decode_steps, serial.stats.decode_steps);
+    EXPECT_EQ(parallel.stats.pages_visited, serial.stats.pages_visited);
+    EXPECT_EQ(parallel.stats.tokens_visited, serial.stats.tokens_visited);
+    EXPECT_EQ(parallel.stats.selector_runs, serial.stats.selector_runs);
+    EXPECT_EQ(parallel.stats.selector_reuses,
+              serial.stats.selector_reuses);
+  }
+}
+
+TEST(Scheduler, ParallelDrainReleasesAllPages) {
+  Engine engine(sparse_cfg());
+  Scheduler sched(engine, 4, 4);
+  for (int i = 0; i < 6; ++i) sched.submit(make_request(20, 4));
+  sched.drain();
+  EXPECT_EQ(engine.dense_allocator().pages_in_use(), 0u);
+  EXPECT_EQ(engine.stream_allocator().pages_in_use(), 0u);
 }
 
 }  // namespace
