@@ -92,6 +92,11 @@ std::size_t PageAllocator::peak_pages_in_use() const noexcept {
   return peak_in_use_;
 }
 
+std::size_t PageAllocator::free_pages() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_slots_ - in_use_;
+}
+
 double PageAllocator::device_bytes_in_use() const noexcept {
   std::lock_guard<std::mutex> lk(mu_);
   double total = 0.0;

@@ -55,6 +55,14 @@ class PageAllocator {
   std::size_t capacity() const noexcept;
   std::size_t pages_in_use() const noexcept;
   std::size_t peak_pages_in_use() const noexcept;
+  /// Pages currently on the free list (capacity() - pages_in_use()).
+  /// Occupancy query for scheduler-level admission control; note the pool
+  /// still grows on demand, so 0 free pages does not make allocate() fail.
+  std::size_t free_pages() const noexcept;
+  /// Pages needed to hold `tokens` tokens for one head (ceil division).
+  std::size_t pages_for_tokens(std::size_t tokens) const noexcept {
+    return (tokens + cfg_.page_size - 1) / cfg_.page_size;
+  }
 
   /// Total device bytes of pages currently in use.
   double device_bytes_in_use() const noexcept;

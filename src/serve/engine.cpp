@@ -49,11 +49,21 @@ Engine::Engine(EngineConfig cfg)
       head_kinds_[idx < slots ? idx : slots - 1] = kv::HeadKind::kStreaming;
     }
   }
+  recount_head_slots();
+}
+
+void Engine::recount_head_slots() noexcept {
+  dense_slots_ = 0;
+  for (const kv::HeadKind k : head_kinds_) {
+    if (k == kv::HeadKind::kDense) ++dense_slots_;
+  }
+  stream_slots_ = head_kinds_.size() - dense_slots_;
 }
 
 void Engine::set_head_kinds(std::vector<kv::HeadKind> kinds) {
   assert(kinds.size() == cfg_.model.layers * cfg_.model.kv_heads);
   head_kinds_ = std::move(kinds);
+  recount_head_slots();
 }
 
 std::vector<float> Engine::calibrate_head_kinds() {
@@ -107,6 +117,7 @@ std::vector<float> Engine::calibrate_head_kinds() {
   }
   head_kinds_ =
       sparse::classify_by_quantile(gates, cfg_.streaming_fraction);
+  recount_head_slots();
   return gates;
 }
 
@@ -229,30 +240,49 @@ void Engine::forward_decode(Sequence& seq, num::Tensor& hidden,
 
 std::int32_t Engine::prefill(SequenceId id,
                              std::span<const std::int32_t> ids) {
-  Sequence& seq = *sequences_[id];
-  assert(seq.phase == SequencePhase::kWaiting && !ids.empty());
-
+  begin_prefill(id, ids.size());
   const std::size_t chunk = cfg_.prefill_chunk_tokens == 0
                                 ? ids.size()
                                 : cfg_.prefill_chunk_tokens;
-  std::int32_t next = -1;
   for (std::size_t begin = 0; begin < ids.size(); begin += chunk) {
-    const std::size_t count = std::min(chunk, ids.size() - begin);
-    num::Tensor hidden = tf_.embed(ids.subspan(begin, count));
-    forward_prefill(seq, hidden, seq.position);
-    seq.position += count;
-    if (begin + count == ids.size()) {
-      next = tf_.readout_argmax(hidden.row(count - 1));
-    }
+    prefill_chunk(id, ids.subspan(begin, std::min(chunk, ids.size() - begin)));
   }
-  seq.phase = SequencePhase::kRunning;
-  seq.last_token = next;
-  return next;
+  return finish_prefill(id);
+}
+
+void Engine::begin_prefill(SequenceId id, std::size_t total_tokens) {
+  Sequence& seq = *sequences_[id];
+  assert(seq.phase == SequencePhase::kWaiting && total_tokens > 0);
+  seq.phase = SequencePhase::kPrefilling;
+  seq.prefill_remaining = total_tokens;
+}
+
+std::size_t Engine::prefill_chunk(SequenceId id,
+                                  std::span<const std::int32_t> ids) {
+  Sequence& seq = *sequences_[id];
+  assert(seq.phase == SequencePhase::kPrefilling);
+  assert(!ids.empty() && ids.size() <= seq.prefill_remaining);
+  num::Tensor hidden = tf_.embed(ids);
+  forward_prefill(seq, hidden, seq.position);
+  seq.position += ids.size();
+  seq.prefill_remaining -= ids.size();
+  if (seq.prefill_remaining == 0) {
+    seq.last_token = tf_.readout_argmax(hidden.row(ids.size() - 1));
+  }
+  return seq.prefill_remaining;
+}
+
+std::int32_t Engine::finish_prefill(SequenceId id) {
+  Sequence& seq = *sequences_[id];
+  assert(seq.phase == SequencePhase::kPrefilling &&
+         seq.prefill_remaining == 0);
+  seq.phase = SequencePhase::kDecoding;
+  return seq.last_token;
 }
 
 std::int32_t Engine::decode_one(Sequence& seq, std::int32_t token,
                                 attn::DecodeWorkStats& work) {
-  assert(seq.phase == SequencePhase::kRunning);
+  assert(seq.phase == SequencePhase::kDecoding);
   const std::int32_t ids[1] = {token};
   num::Tensor hidden = tf_.embed(ids);
   forward_decode(seq, hidden, work);
@@ -323,6 +353,22 @@ std::vector<std::int32_t> Engine::generate(
 double Engine::kv_device_bytes() const noexcept {
   return dense_alloc_.device_bytes_in_use() +
          stream_alloc_.device_bytes_in_use();
+}
+
+std::size_t Engine::total_pages_in_use() const noexcept {
+  return dense_alloc_.pages_in_use() + stream_alloc_.pages_in_use();
+}
+
+PageDemand Engine::estimate_request_pages(
+    std::size_t total_tokens) const noexcept {
+  const std::size_t full = dense_alloc_.pages_for_tokens(total_tokens);
+  // A streaming head holds its sink pages plus the local ring, which spans
+  // the window rounded up to pages plus the page being filled.
+  const std::size_t stream_cap = std::min(
+      stream_alloc_.pages_for_tokens(total_tokens),
+      stream_alloc_.pages_for_tokens(cfg_.streaming.sink_tokens) +
+          stream_alloc_.pages_for_tokens(cfg_.streaming.local_tokens) + 1);
+  return {dense_slots_ * full, stream_slots_ * stream_cap};
 }
 
 }  // namespace lserve::serve

@@ -53,6 +53,15 @@ struct EngineConfig {
   std::uint64_t seed = 42;
 };
 
+/// Worst-case page-pool demand of a request, split by pool. Computed from
+/// the head partition and streaming geometry; the scheduler compares it
+/// against a page budget for admission control.
+struct PageDemand {
+  std::size_t dense_pages = 0;
+  std::size_t stream_pages = 0;
+  std::size_t total() const noexcept { return dense_pages + stream_pages; }
+};
+
 /// Cumulative engine telemetry; also feeds the GPU cost model.
 struct EngineStats {
   std::size_t prefill_tokens = 0;
@@ -88,7 +97,30 @@ class Engine {
   const Sequence& sequence(SequenceId id) const { return *sequences_[id]; }
 
   /// Prefills `ids` and returns the first generated token (greedy).
+  /// Convenience wrapper over the resumable API below, chunking internally
+  /// by cfg.prefill_chunk_tokens (0 = monolithic).
   std::int32_t prefill(SequenceId id, std::span<const std::int32_t> ids);
+
+  /// Resumable incremental prefill, driven chunk-by-chunk by the scheduler
+  /// so one long prompt never monopolizes an iteration:
+  ///
+  ///   begin_prefill(id, n);          // kWaiting -> kPrefilling
+  ///   while (prefill_chunk(id, next_ids) > 0) { ... other work ... }
+  ///   first_token = finish_prefill(id);  // kPrefilling -> kDecoding
+  ///
+  /// Chunks run through the same fused_chunked_prefill path as prefill()
+  /// (each chunk attends to the already-cached history), so any chunking
+  /// schedule is bit-identical to a monolithic prefill.
+  void begin_prefill(SequenceId id, std::size_t total_tokens);
+
+  /// Feeds the next chunk of prompt tokens; returns tokens still owed.
+  /// The final chunk (return value 0) also computes the first generated
+  /// token, which finish_prefill() returns.
+  std::size_t prefill_chunk(SequenceId id, std::span<const std::int32_t> ids);
+
+  /// Completes an incremental prefill (all tokens fed) and returns the
+  /// first generated token (greedy).
+  std::int32_t finish_prefill(SequenceId id);
 
   /// Appends `token` and returns the next token (one decode step).
   std::int32_t decode(SequenceId id, std::int32_t token);
@@ -122,6 +154,21 @@ class Engine {
   /// Device bytes currently held by KV pages (memory-saving accounting).
   double kv_device_bytes() const noexcept;
 
+  /// Pages currently held across both pools (admission-control occupancy).
+  std::size_t total_pages_in_use() const noexcept;
+
+  /// Worst-case pages a request totalling `total_tokens` (prompt +
+  /// max_new_tokens) can occupy, given the current head partition.
+  /// Streaming heads are capped by their sink + local-window geometry.
+  PageDemand estimate_request_pages(std::size_t total_tokens) const noexcept;
+
+  /// Upper bound on new pages one decode step of one sequence can allocate
+  /// (every head crosses a page boundary at once, since token counts are
+  /// uniform across heads).
+  std::size_t decode_step_page_bound() const noexcept {
+    return cfg_.model.layers * cfg_.model.kv_heads;
+  }
+
  private:
   /// Runs all transformer layers over `hidden` ([n x hidden]) in prefill
   /// mode, appending K/V to `seq`'s caches. `pos0` is the absolute position
@@ -144,11 +191,17 @@ class Engine {
   attn::FusedPrefillConfig prefill_config(std::size_t n_tokens) const;
   attn::FusedDecodeConfig decode_config() const;
 
+  /// Recounts dense_slots_/stream_slots_ from head_kinds_ (call after any
+  /// partition change).
+  void recount_head_slots() noexcept;
+
   EngineConfig cfg_;
   model::Transformer tf_;
   kv::PageAllocator dense_alloc_;
   kv::PageAllocator stream_alloc_;
   std::vector<kv::HeadKind> head_kinds_;
+  std::size_t dense_slots_ = 0;   ///< dense entries in head_kinds_.
+  std::size_t stream_slots_ = 0;  ///< streaming entries in head_kinds_.
   std::vector<std::unique_ptr<Sequence>> sequences_;
   EngineStats stats_;
 };

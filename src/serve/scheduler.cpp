@@ -1,36 +1,193 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace lserve::serve {
 
-Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
-                     std::size_t decode_threads)
-    : engine_(engine), max_batch_(max_batch == 0 ? 1 : max_batch) {
-  if (decode_threads != 1) {
-    pool_ = std::make_unique<ThreadPool>(decode_threads);
+Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
+    : engine_(engine), cfg_(cfg) {
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (cfg_.decode_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(cfg_.decode_threads);
   }
 }
 
+Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
+                     std::size_t decode_threads)
+    : Scheduler(engine,
+                SchedulerConfig{max_batch, decode_threads,
+                                /*page_budget=*/0}) {}
+
+bool Scheduler::in_flight(std::uint64_t id) const noexcept {
+  for (const Pending& p : waiting_) {
+    if (p.req.request_id == id) return true;
+  }
+  for (const Running& r : running_) {
+    if (r.pend.req.request_id == id) return true;
+  }
+  return false;
+}
+
 std::uint64_t Scheduler::submit(Request req) {
-  if (req.request_id == 0) req.request_id = next_id_++;
+  if (req.prompt.empty()) {
+    throw std::invalid_argument("Scheduler::submit: empty prompt");
+  }
+  if (req.request_id == 0) {
+    req.request_id = next_id_++;
+  } else {
+    if (in_flight(req.request_id)) {
+      throw std::invalid_argument(
+          "Scheduler::submit: request_id collides with an in-flight "
+          "request");
+    }
+    // Never auto-assign an id at or below a user-supplied one.
+    next_id_ = std::max(next_id_, req.request_id + 1);
+  }
   const std::uint64_t id = req.request_id;
-  waiting_.push_back(std::move(req));
+  Pending pend;
+  pend.submit_step = stats_.steps;
+  pend.req = std::move(req);
+  waiting_.push_back(std::move(pend));
   return id;
 }
 
 void Scheduler::admit() {
-  while (running_.size() < max_batch_ && !waiting_.empty()) {
-    Request req = std::move(waiting_.front());
-    waiting_.pop_front();
+  while (running_.size() < cfg_.max_batch && !waiting_.empty()) {
+    // KV-memory admission control: the front request's worst-case
+    // footprint (prompt + max_new_tokens, across both pools) must fit on
+    // top of current occupancy. FCFS — no skipping past a deferred
+    // request. When nothing is running the front request is admitted
+    // unconditionally (the budget is soft; the pool grows on demand), so
+    // an over-budget request runs solo instead of deadlocking the queue.
+    const Pending& front = waiting_.front();
+    if (cfg_.page_budget > 0 && !running_.empty()) {
+      const std::size_t need =
+          engine_
+              .estimate_request_pages(front.req.prompt.size() +
+                                      front.req.max_new_tokens)
+              .total();
+      // Reserve one step of worst-case decode growth for the sequences
+      // already running — the same term preempt_for_memory() enforces —
+      // so a freshly admitted request is not immediately preempted back
+      // out (admit/preempt thrash that would discard its prefill work).
+      std::size_t decoding = 0;
+      for (const Running& run : running_) {
+        if (run.phase == SequencePhase::kDecoding &&
+            run.output.size() < run.pend.req.max_new_tokens) {
+          ++decoding;
+        }
+      }
+      const std::size_t headroom = decoding * engine_.decode_step_page_bound();
+      if (engine_.total_pages_in_use() + headroom + need >
+          cfg_.page_budget) {
+        ++stats_.deferred_admissions;
+        break;
+      }
+    }
     Running run;
+    run.pend = std::move(waiting_.front());
+    waiting_.pop_front();
     run.seq = engine_.create_sequence();
-    const std::int32_t first =
-        engine_.prefill(run.seq, std::span<const std::int32_t>(req.prompt));
-    run.output.push_back(first);
-    run.req = std::move(req);
+    engine_.begin_prefill(run.seq, run.pend.feed().size());
+    run.phase = SequencePhase::kPrefilling;
+    run.admit_order = admit_counter_++;
+    ++stats_.admitted;
     running_.push_back(std::move(run));
+  }
+}
+
+void Scheduler::advance_prefill() {
+  // At most one prefill chunk per iteration, for the oldest-admitted
+  // prefilling sequence, so prefill work is rationed against the decode
+  // batch instead of monopolizing the step.
+  Running* target = nullptr;
+  for (Running& run : running_) {
+    if (run.phase != SequencePhase::kPrefilling) continue;
+    if (target == nullptr || run.admit_order < target->admit_order) {
+      target = &run;
+    }
+  }
+  if (target == nullptr) return;
+
+  const std::vector<std::int32_t>& feed = target->pend.feed();
+  const std::size_t chunk = engine_.config().prefill_chunk_tokens;
+  const std::size_t remaining = feed.size() - target->prefill_pos;
+  const std::size_t count = chunk == 0 ? remaining : std::min(chunk, remaining);
+  const std::span<const std::int32_t> ids(feed.data() + target->prefill_pos,
+                                          count);
+  const std::size_t left = engine_.prefill_chunk(target->seq, ids);
+  target->prefill_pos += count;
+  ++stats_.prefill_chunks;
+  if (left > 0) return;
+
+  const std::int32_t first = engine_.finish_prefill(target->seq);
+  target->phase = SequencePhase::kDecoding;
+  if (target->pend.resumed.empty()) {
+    target->output.push_back(first);
+    target->pend.first_token_step = stats_.steps;
+  } else {
+    // Re-prefill after preemption recomputed the KV state of the earlier
+    // partial run; the readout of the last fed token re-derives the last
+    // generated token, so restore the already-produced output instead of
+    // appending. (A later preemption rebuilds resumed from the current
+    // output, so moving it out is safe.)
+    target->output = std::move(target->pend.resumed);
+    target->pend.resumed.clear();
+  }
+}
+
+void Scheduler::preempt(std::size_t slot) {
+  Running run = std::move(running_[slot]);
+  running_[slot] = std::move(running_.back());
+  running_.pop_back();
+  engine_.sequence(run.seq).phase = SequencePhase::kPreempted;
+  engine_.release_sequence(run.seq);
+
+  Pending pend = std::move(run.pend);
+  ++pend.preemptions;
+  ++stats_.preemptions;
+  if (run.phase == SequencePhase::kDecoding && !run.output.empty()) {
+    // Recompute preemption: replay every token that was fed to the engine
+    // (the prompt plus all generated tokens but the last, which had not
+    // been fed back yet) and restore the generated output on re-admission.
+    pend.fed = pend.req.prompt;
+    pend.fed.insert(pend.fed.end(), run.output.begin(),
+                    run.output.end() - 1);
+    pend.resumed = std::move(run.output);
+  }
+  // Front of the queue: the preempted request re-admits first once memory
+  // frees (FCFS among multiple preemptions — newest victims are pushed
+  // first and end up behind earlier-admitted ones).
+  waiting_.push_front(std::move(pend));
+}
+
+void Scheduler::preempt_for_memory() {
+  if (cfg_.page_budget == 0) return;
+  const std::size_t bound = engine_.decode_step_page_bound();
+  while (running_.size() > 1) {
+    std::size_t decoding = 0;
+    for (const Running& run : running_) {
+      if (run.phase == SequencePhase::kDecoding &&
+          run.output.size() < run.pend.req.max_new_tokens) {
+        ++decoding;
+      }
+    }
+    if (decoding == 0) return;
+    // Worst case, every decoding sequence crosses a page boundary on every
+    // head this step; preempt until that fits under the budget (or only
+    // one sequence is left — the oldest is never preempted, which
+    // guarantees forward progress and a completing drain()).
+    if (engine_.total_pages_in_use() + decoding * bound <=
+        cfg_.page_budget) {
+      return;
+    }
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < running_.size(); ++i) {
+      if (running_[i].admit_order > running_[victim].admit_order) victim = i;
+    }
+    preempt(victim);
   }
 }
 
@@ -40,12 +197,20 @@ bool Scheduler::step() {
         "Scheduler: a decode batch threw; sequences are mid-step and the "
         "engine cannot keep serving");
   }
+  ++stats_.steps;
   admit();
-  if (running_.empty()) return false;
+  if (running_.empty()) {
+    assert(waiting_.empty() && "admit() always admits when nothing runs");
+    return false;
+  }
+  advance_prefill();
+  preempt_for_memory();
 
-  // Gather this iteration's decode batch (sequences still under budget),
-  // decode it — in parallel when a pool is attached — and append the new
-  // tokens in slot order.
+  // Gather this iteration's decode batch: every decoding sequence still
+  // under budget, including one whose prefill completed this very step.
+  // (Note prefill is rationed at one sequence per iteration even with
+  // monolithic chunks, so simultaneously admitted requests start decoding
+  // on consecutive steps, not all at once.)
   std::vector<std::size_t> slots;
   std::vector<SequenceId> seqs;
   std::vector<std::int32_t> last;
@@ -54,7 +219,8 @@ bool Scheduler::step() {
   last.reserve(running_.size());
   for (std::size_t i = 0; i < running_.size(); ++i) {
     const Running& run = running_[i];
-    if (run.output.size() >= run.req.max_new_tokens) continue;
+    if (run.phase != SequencePhase::kDecoding) continue;
+    if (run.output.size() >= run.pend.req.max_new_tokens) continue;
     slots.push_back(i);
     seqs.push_back(run.seq);
     last.push_back(run.output.back());
@@ -75,11 +241,16 @@ bool Scheduler::step() {
   // Retire finished sequences (swap-erase keeps iteration simple).
   for (std::size_t i = 0; i < running_.size();) {
     Running& run = running_[i];
-    if (run.output.size() >= run.req.max_new_tokens) {
+    if (run.phase == SequencePhase::kDecoding &&
+        run.output.size() >= run.pend.req.max_new_tokens) {
       RequestResult result;
-      result.request_id = run.req.request_id;
-      result.prompt_tokens = run.req.prompt.size();
+      result.request_id = run.pend.req.request_id;
+      result.prompt_tokens = run.pend.req.prompt.size();
       result.decode_steps = run.output.size() - 1;
+      result.preemptions = run.pend.preemptions;
+      result.submit_step = run.pend.submit_step;
+      result.first_token_step = run.pend.first_token_step;
+      result.finish_step = stats_.steps;
       result.output = std::move(run.output);
       results_.push_back(std::move(result));
       engine_.release_sequence(run.seq);

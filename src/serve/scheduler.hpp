@@ -1,11 +1,27 @@
-// Continuous-batching scheduler (Orca-style iteration-level scheduling).
+// Request-lifecycle scheduler: chunked-prefill-aware continuous batching
+// with KV-memory admission control and preemption.
 //
-// Requests queue FCFS; up to `max_batch` sequences run concurrently. Each
-// step() performs one decode iteration across every running sequence and
-// admits waiting requests into free slots (prefilling them on admission).
-// This is the serving-loop shape of vLLM/TensorRT-LLM that LServe inherits
-// from QServe; benches use it to measure per-step decode latency under
-// batching.
+// Requests move through the lifecycle WAITING → PREFILLING → DECODING →
+// FINISHED, with PREEMPTED → WAITING as the memory-pressure back edge.
+// Scheduling is iteration-level (Orca/vLLM style), but prefill chunks are
+// first-class iteration work: each step() packs at most one prefill chunk
+// (cfg.prefill_chunk_tokens of the engine, whole prompt when 0) of the
+// oldest admitting sequence next to the running decode batch, so the TTFT
+// of a long prompt no longer stalls the TPOT of every running sequence —
+// the head-of-line blocking the paper's chunked prefill (§3) exists to
+// avoid.
+//
+// Memory: a configurable page budget (across both engine pools) gates
+// admission — a request whose worst-case prompt + max_new_tokens footprint
+// does not fit on top of current occupancy stays WAITING — and triggers
+// preemption instead of poisoning when the pool nears exhaustion
+// mid-decode: the most recently admitted sequence is released (pages
+// reclaimed) and its request re-queued at the front for re-prefill, with
+// already-generated tokens folded into the replayed prompt (vLLM's
+// recompute preemption). The budget is soft in two places that guarantee
+// drain() always completes: a request whose footprint alone exceeds the
+// budget still runs solo (the pool grows on demand), and the last running
+// sequence is never preempted.
 #pragma once
 
 #include <cstdint>
@@ -26,37 +42,70 @@ struct Request {
   std::uint64_t request_id = 0;
 };
 
-/// A finished request's output and accounting.
+/// A finished request's output and accounting. The step indices are the
+/// scheduler's iteration counter (SchedulerStats::steps) at the respective
+/// event; benches map them to wall-clock timestamps for TTFT/TPOT without
+/// the scheduler itself touching a clock.
 struct RequestResult {
   std::uint64_t request_id = 0;
   std::vector<std::int32_t> output;
   std::size_t prompt_tokens = 0;
   std::size_t decode_steps = 0;
+  std::size_t preemptions = 0;       ///< times this request was preempted.
+  std::size_t submit_step = 0;       ///< steps completed when submitted.
+  std::size_t first_token_step = 0;  ///< step that produced output[0].
+  std::size_t finish_step = 0;       ///< step that completed the request.
+};
+
+/// Scheduler policy knobs.
+struct SchedulerConfig {
+  std::size_t max_batch = 8;
+  /// Decode parallelism of each step()'s batch: 1 = serial, >1 = shared
+  /// ThreadPool, 0 = hardware concurrency. Outputs, stats, scheduling
+  /// decisions (admission/preemption use post-join page counts) and
+  /// completion order are bit-identical at any thread count. Allocator-
+  /// level telemetry (PageAllocator::peak_pages_in_use, physical page-id
+  /// assignment) is the exception: it depends on allocation interleaving
+  /// within a batch.
+  std::size_t decode_threads = 1;
+  /// Combined (dense + streaming) page budget for admission control and
+  /// preemption; 0 = unbounded. Soft — see the header comment.
+  std::size_t page_budget = 0;
+};
+
+/// Cumulative scheduler telemetry.
+struct SchedulerStats {
+  std::size_t steps = 0;
+  std::size_t admitted = 0;     ///< admissions, including re-admissions.
+  std::size_t preemptions = 0;  ///< sequences released under memory pressure.
+  std::size_t deferred_admissions = 0;  ///< step-counted admission stalls.
+  std::size_t prefill_chunks = 0;       ///< chunks scheduled (≤ 1 per step).
 };
 
 /// FCFS continuous-batching scheduler over one Engine.
 class Scheduler {
  public:
-  /// `decode_threads` is the parallelism of each step()'s decode batch:
-  /// 1 (default) decodes sequences serially, exactly as before; >1 runs
-  /// them on a shared ThreadPool; 0 uses hardware concurrency. Outputs,
-  /// EngineStats and completion order are bit-identical at any thread
-  /// count — sequences are independent and the engine merges per-sequence
-  /// work deterministically after each batch. Allocator-level telemetry
-  /// (PageAllocator::peak_pages_in_use, physical page-id assignment) is
-  /// the exception: it depends on allocation interleaving within a batch.
+  Scheduler(Engine& engine, SchedulerConfig cfg);
+
+  /// Convenience: SchedulerConfig{max_batch, decode_threads}, no budget.
   Scheduler(Engine& engine, std::size_t max_batch,
             std::size_t decode_threads = 1);
 
-  /// Enqueues a request; returns its id (assigned if 0).
+  /// Enqueues a request; returns its id (assigned if 0). A user-supplied
+  /// id that collides with an in-flight (waiting or running) request is
+  /// rejected with std::invalid_argument; auto-assignment never reuses a
+  /// user-supplied id.
   std::uint64_t submit(Request req);
 
-  /// Admits + decodes one iteration. Returns true while work remains.
-  /// If a decode batch throws (see Engine::decode_batch's exception
-  /// contract), the exception propagates and the scheduler is poisoned:
-  /// affected sequences are left mid-step and cannot be resumed, so every
-  /// later step()/drain() throws std::logic_error instead of silently
-  /// decoding against an inconsistent cache.
+  /// One iteration: admit under the page budget, advance at most one
+  /// prefill chunk, preempt if the pool nears the budget, then decode the
+  /// batch and retire finished sequences. Returns true while work remains.
+  ///
+  /// Pool exhaustion against the page budget is handled by preemption and
+  /// never poisons the scheduler. Only an engine-level failure (a decode
+  /// batch throwing, e.g. allocation failure at the allocator's hard cap)
+  /// still leaves sequences mid-step and unpoisonable-by-retry; after that
+  /// every later step()/drain() throws std::logic_error.
   bool step();
 
   /// Runs to completion and returns all results in completion order.
@@ -68,26 +117,57 @@ class Scheduler {
   std::size_t decode_threads() const noexcept {
     return pool_ == nullptr ? 1 : pool_->size();
   }
+  const SchedulerConfig& config() const noexcept { return cfg_; }
+  const SchedulerStats& scheduler_stats() const noexcept { return stats_; }
   const std::vector<RequestResult>& results() const noexcept {
     return results_;
   }
 
  private:
-  struct Running {
+  /// A queued request plus any progress preserved across preemption.
+  struct Pending {
     Request req;
-    SequenceId seq;
-    std::vector<std::int32_t> output;
+    /// After a mid-decode preemption: the prompt plus every generated
+    /// token that had been fed back, to be replayed as the re-prefill
+    /// stream. Empty for a fresh request (feed() then serves the prompt
+    /// directly, avoiding a copy per queued request).
+    std::vector<std::int32_t> fed;
+    const std::vector<std::int32_t>& feed() const noexcept {
+      return fed.empty() ? req.prompt : fed;
+    }
+    /// Generated tokens restored verbatim after re-prefill (empty for a
+    /// fresh request).
+    std::vector<std::int32_t> resumed;
+    std::size_t preemptions = 0;
+    std::size_t submit_step = 0;
+    std::size_t first_token_step = 0;
   };
 
+  /// An admitted request bound to an engine sequence.
+  struct Running {
+    Pending pend;
+    SequenceId seq = kInvalidSequence;
+    SequencePhase phase = SequencePhase::kPrefilling;
+    std::vector<std::int32_t> output;
+    std::size_t prefill_pos = 0;  ///< tokens of pend.feed() already forwarded.
+    std::uint64_t admit_order = 0;
+  };
+
+  bool in_flight(std::uint64_t id) const noexcept;
   void admit();
+  void advance_prefill();
+  void preempt_for_memory();
+  void preempt(std::size_t slot);
 
   Engine& engine_;
-  std::size_t max_batch_;
+  SchedulerConfig cfg_;
   std::unique_ptr<ThreadPool> pool_;  ///< null => serial decode.
-  std::deque<Request> waiting_;
+  std::deque<Pending> waiting_;
   std::vector<Running> running_;
   std::vector<RequestResult> results_;
+  SchedulerStats stats_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t admit_counter_ = 0;  ///< preemption priority (newest first).
   bool poisoned_ = false;  ///< a decode batch threw; engine unusable.
 };
 

@@ -29,6 +29,28 @@ TEST(PageAllocator, AllocateFreeCycle) {
   EXPECT_EQ(alloc.pages_in_use(), 0u);
 }
 
+TEST(PageAllocator, OccupancyQueriesTrackAllocateAndFree) {
+  PageAllocator alloc(cfg(), 4);
+  const std::size_t cap = alloc.capacity();
+  EXPECT_EQ(alloc.free_pages(), cap);
+  const PageId a = alloc.allocate();
+  const PageId b = alloc.allocate();
+  EXPECT_EQ(alloc.free_pages(), cap - 2);
+  EXPECT_EQ(alloc.free_pages() + alloc.pages_in_use(), alloc.capacity());
+  alloc.free(a);
+  alloc.free(b);
+  EXPECT_EQ(alloc.free_pages(), cap);
+}
+
+TEST(PageAllocator, PagesForTokensRoundsUp) {
+  PageAllocator alloc(cfg(), 2);  // page_size = 8
+  EXPECT_EQ(alloc.pages_for_tokens(0), 0u);
+  EXPECT_EQ(alloc.pages_for_tokens(1), 1u);
+  EXPECT_EQ(alloc.pages_for_tokens(8), 1u);
+  EXPECT_EQ(alloc.pages_for_tokens(9), 2u);
+  EXPECT_EQ(alloc.pages_for_tokens(64), 8u);
+}
+
 TEST(PageAllocator, GrowsBeyondInitialCapacity) {
   PageAllocator alloc(cfg(), 2);
   std::vector<PageId> ids;

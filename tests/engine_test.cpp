@@ -55,6 +55,59 @@ TEST(Engine, DeterministicGeneration) {
   EXPECT_EQ(out_a, out_b);
 }
 
+TEST(Engine, IncrementalPrefillMatchesMonolithic) {
+  // Driving begin_prefill/prefill_chunk/finish_prefill by hand — with an
+  // uneven chunk schedule — must be bit-identical to prefill(), including
+  // the decode steps that follow.
+  Engine mono(tiny_dense_config());
+  Engine inc(tiny_dense_config());
+  const auto ids = prompt_ids(23);
+  const auto sm = mono.create_sequence();
+  const auto si = inc.create_sequence();
+
+  const std::int32_t first_mono =
+      mono.prefill(sm, std::span<const std::int32_t>(ids));
+
+  inc.begin_prefill(si, ids.size());
+  std::size_t pos = 0;
+  for (const std::size_t chunk : {7u, 9u, 1u, 6u}) {
+    const std::size_t left = inc.prefill_chunk(
+        si, std::span<const std::int32_t>(ids.data() + pos, chunk));
+    pos += chunk;
+    EXPECT_EQ(left, ids.size() - pos);
+  }
+  const std::int32_t first_inc = inc.finish_prefill(si);
+
+  EXPECT_EQ(first_inc, first_mono);
+  std::int32_t tm = first_mono;
+  std::int32_t ti = first_inc;
+  for (int s = 0; s < 6; ++s) {
+    tm = mono.decode(sm, tm);
+    ti = inc.decode(si, ti);
+    EXPECT_EQ(ti, tm) << "diverged at decode step " << s;
+  }
+  EXPECT_EQ(mono.stats().prefill_tokens, inc.stats().prefill_tokens);
+}
+
+TEST(Engine, EstimateRequestPagesBoundsActualUsage) {
+  // The admission-control estimate must upper-bound what a request really
+  // allocates, for both the dense and the streaming pool.
+  Engine engine(tiny_covering_lserve_config());
+  const std::size_t prompt_len = 40;
+  const std::size_t new_tokens = 8;
+  const PageDemand est =
+      engine.estimate_request_pages(prompt_len + new_tokens);
+  const auto seq = engine.create_sequence();
+  engine.generate(seq, prompt_ids(prompt_len), new_tokens);
+  EXPECT_LE(engine.dense_allocator().pages_in_use(), est.dense_pages);
+  EXPECT_LE(engine.stream_allocator().pages_in_use(), est.stream_pages);
+  EXPECT_LE(engine.total_pages_in_use(), est.total());
+  EXPECT_EQ(engine.decode_step_page_bound(),
+            engine.config().model.layers * engine.config().model.kv_heads);
+  engine.release_sequence(seq);
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+}
+
 TEST(Engine, PrefillThenDecodeMatchesLongerPrefill) {
   // Causal consistency: decoding token t after prefilling [0, t) must give
   // the same next token as prefilling [0, t].

@@ -144,6 +144,7 @@ EngineConfig sparse_cfg() {
 struct DrainOutcome {
   std::vector<RequestResult> results;
   EngineStats stats;
+  SchedulerStats sched_stats;
 };
 
 DrainOutcome drain_at(std::size_t decode_threads) {
@@ -159,6 +160,7 @@ DrainOutcome drain_at(std::size_t decode_threads) {
   DrainOutcome out;
   out.results = sched.drain();
   out.stats = engine.stats();
+  out.sched_stats = sched.scheduler_stats();
   return out;
 }
 
@@ -187,6 +189,202 @@ TEST(Scheduler, ParallelStepBitIdenticalToSerial) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Request-id hygiene.
+
+TEST(Scheduler, RejectsDuplicateInFlightRequestIds) {
+  Engine engine(cfg());
+  Scheduler sched(engine, 2);
+  Request req = make_request(8, 2);
+  req.request_id = 7;
+  sched.submit(req);
+  EXPECT_THROW(sched.submit(req), std::invalid_argument);
+  sched.drain();
+  // Once no longer in flight, the id may be reused.
+  EXPECT_EQ(sched.submit(req), 7u);
+  sched.drain();
+  EXPECT_EQ(sched.results().size(), 2u);
+}
+
+TEST(Scheduler, RejectsEmptyPrompts) {
+  Engine engine(cfg());
+  Scheduler sched(engine, 2);
+  EXPECT_THROW(sched.submit(Request{}), std::invalid_argument);
+  EXPECT_EQ(sched.waiting(), 0u);
+}
+
+TEST(Scheduler, AutoIdsNeverReuseUserSuppliedIds) {
+  Engine engine(cfg());
+  Scheduler sched(engine, 4);
+  Request user = make_request(8, 2);
+  user.request_id = 5;
+  EXPECT_EQ(sched.submit(user), 5u);
+  // Auto-assignment must jump past the user-supplied id instead of
+  // eventually colliding with it.
+  const auto auto_id = sched.submit(make_request(8, 2));
+  EXPECT_GT(auto_id, 5u);
+  const auto results = sched.drain();
+  EXPECT_EQ(results.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked-prefill-aware batching.
+
+const RequestResult& by_id(const std::vector<RequestResult>& results,
+                           std::uint64_t id) {
+  for (const RequestResult& r : results) {
+    if (r.request_id == id) return r;
+  }
+  ADD_FAILURE() << "request " << id << " missing from results";
+  return results.front();
+}
+
+TEST(Scheduler, OnePrefillChunkPerStepAlongsideDecodeBatch) {
+  EngineConfig chunked = cfg();
+  chunked.prefill_chunk_tokens = 8;
+  Engine engine(chunked);
+  Scheduler sched(engine, 4);
+  const auto short_id = sched.submit(make_request(8, 10));
+  const auto long_id = sched.submit(make_request(64, 4));
+
+  std::size_t step = 0;
+  bool more = true;
+  while (more) {
+    ++step;
+    const std::size_t prefill_before = engine.stats().prefill_tokens;
+    const std::size_t decode_before = engine.stats().decode_steps;
+    more = sched.step();
+    // The acceptance invariant: no step performs more than one prefill
+    // chunk of work before its decode batch runs.
+    EXPECT_LE(engine.stats().prefill_tokens - prefill_before,
+              chunked.prefill_chunk_tokens);
+    // While the long prompt's prefill is rationed out (steps 2..9), the
+    // short request keeps decoding every single step.
+    if (step >= 2 && step <= 9) {
+      EXPECT_GE(engine.stats().decode_steps - decode_before, 1u);
+    }
+  }
+
+  const auto& results = sched.results();
+  ASSERT_EQ(results.size(), 2u);
+  const RequestResult& s = by_id(results, short_id);
+  const RequestResult& l = by_id(results, long_id);
+  // Short request's TTFT is untouched by the long prompt behind it...
+  EXPECT_EQ(s.first_token_step, 1u);
+  // ...and its TPOT is one token per step, so it finishes at step 9
+  // (1 prefill token + 9 decode steps) while the long prompt's 64-token
+  // prefill is still being rationed at 8 tokens per iteration.
+  EXPECT_EQ(s.finish_step, 9u);
+  EXPECT_EQ(l.first_token_step, 9u);
+  EXPECT_LT(s.finish_step, l.finish_step);
+
+  // Chunked admission must not perturb the computation.
+  Engine mono_engine(cfg());
+  Scheduler mono(mono_engine, 4);
+  const auto ms = mono.submit(make_request(8, 10));
+  const auto ml = mono.submit(make_request(64, 4));
+  const auto mono_results = mono.drain();
+  EXPECT_EQ(s.output, by_id(mono_results, ms).output);
+  EXPECT_EQ(l.output, by_id(mono_results, ml).output);
+}
+
+// ---------------------------------------------------------------------------
+// KV-memory admission control and preemption.
+
+TEST(Scheduler, PreemptionRequeuesAndMatchesUnpreemptedRun) {
+  // tiny model: 2 layers x 2 kv heads = 4 page streams, page_size 8, all
+  // dense under vllm_config. A totals 28 tokens (16 pages worst case), B
+  // totals 36 (20 pages); both pass admission against an empty pool, but
+  // their combined decode growth breaches the 28-page budget, so B (the
+  // newest) is preempted mid-decode, re-queued, and re-admitted only after
+  // A retires.
+  const Request req_a = make_request(16, 12);
+  Request req_b = make_request(16, 20);
+  req_b.prompt[3] += 1;  // distinct stream so outputs differ.
+
+  Engine reference_engine(cfg());
+  Scheduler reference(reference_engine, 2);
+  const auto ra = reference.submit(req_a);
+  const auto rb = reference.submit(req_b);
+  const auto unpreempted = reference.drain();
+  EXPECT_EQ(reference.scheduler_stats().preemptions, 0u);
+
+  Engine engine(cfg());
+  SchedulerConfig sc;
+  sc.max_batch = 2;
+  sc.page_budget = 28;
+  Scheduler sched(engine, sc);
+  const auto id_a = sched.submit(req_a);
+  const auto id_b = sched.submit(req_b);
+  const auto results = sched.drain();
+
+  // Pressure fired and was absorbed: B preempted at least once, the drain
+  // completed every request, and nothing was poisoned.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GE(sched.scheduler_stats().preemptions, 1u);
+  EXPECT_GE(sched.scheduler_stats().deferred_admissions, 1u);
+  const RequestResult& a = by_id(results, id_a);
+  const RequestResult& b = by_id(results, id_b);
+  EXPECT_EQ(a.preemptions, 0u);
+  EXPECT_GE(b.preemptions, 1u);
+  ASSERT_EQ(b.output.size(), 20u);
+
+  // Recompute preemption is exact: the preempted request produces the same
+  // tokens as the unpreempted run.
+  EXPECT_EQ(a.output, by_id(unpreempted, ra).output);
+  EXPECT_EQ(b.output, by_id(unpreempted, rb).output);
+
+  // Every preempted and retired page went back to the free list.
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+  EXPECT_EQ(engine.dense_allocator().free_pages(),
+            engine.dense_allocator().capacity());
+}
+
+TEST(Scheduler, AdmissionDeferredUntilMemoryFrees) {
+  Engine engine(cfg());
+  SchedulerConfig sc;
+  sc.max_batch = 2;
+  sc.page_budget = 20;
+  Scheduler sched(engine, sc);
+  const auto id_a = sched.submit(make_request(16, 12));  // 16-page estimate
+  sched.step();
+  sched.step();
+  // A occupies 12 pages by now; B's 16-page estimate no longer fits under
+  // the 20-page budget, so B waits even though a batch slot is free.
+  const auto id_b = sched.submit(make_request(16, 12));
+  sched.step();
+  EXPECT_EQ(sched.running(), 1u);
+  EXPECT_EQ(sched.waiting(), 1u);
+  EXPECT_GE(sched.scheduler_stats().deferred_admissions, 1u);
+
+  const auto results = sched.drain();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(sched.scheduler_stats().preemptions, 0u);
+  const RequestResult& a = by_id(results, id_a);
+  const RequestResult& b = by_id(results, id_b);
+  // B only started once A's pages were released.
+  EXPECT_GT(b.first_token_step, a.finish_step);
+}
+
+TEST(Scheduler, PagesReclaimedAcrossSequentialRequests) {
+  // Regression guard for the allocator free-list under release/requeue:
+  // many sequential requests must recycle the same pages, never grow the
+  // pool, and leave it fully free.
+  Engine engine(cfg());
+  const std::size_t initial_capacity = engine.dense_allocator().capacity();
+  Scheduler sched(engine, 1);
+  for (int i = 0; i < 10; ++i) sched.submit(make_request(24, 4));
+  const auto results = sched.drain();
+  ASSERT_EQ(results.size(), 10u);
+  EXPECT_EQ(engine.dense_allocator().pages_in_use(), 0u);
+  EXPECT_EQ(engine.dense_allocator().capacity(), initial_capacity);
+  EXPECT_EQ(engine.dense_allocator().free_pages(), initial_capacity);
+  // Peak occupancy never exceeded one request's worst case — later
+  // requests reused the pages released by earlier ones.
+  EXPECT_LE(engine.dense_allocator().peak_pages_in_use(),
+            engine.estimate_request_pages(24 + 4).dense_pages);
+}
+
 TEST(Scheduler, ParallelDrainReleasesAllPages) {
   Engine engine(sparse_cfg());
   Scheduler sched(engine, 4, 4);
@@ -194,6 +392,69 @@ TEST(Scheduler, ParallelDrainReleasesAllPages) {
   sched.drain();
   EXPECT_EQ(engine.dense_allocator().pages_in_use(), 0u);
   EXPECT_EQ(engine.stream_allocator().pages_in_use(), 0u);
+}
+
+/// Full-pressure lifecycle drain: sparse engine, chunked prefill, and a
+/// page budget tight enough that admission deferral and preemption both
+/// fire while requests complete.
+DrainOutcome drain_pressured_at(std::size_t decode_threads) {
+  EngineConfig ec = sparse_cfg();
+  ec.prefill_chunk_tokens = 8;
+  Engine engine(ec);
+  SchedulerConfig sc;
+  sc.max_batch = 4;
+  sc.decode_threads = decode_threads;
+  sc.page_budget = 30;
+  Scheduler sched(engine, sc);
+  const std::size_t prompts[] = {12, 40, 8, 24, 16, 33};
+  const std::size_t budgets[] = {6, 3, 9, 5, 2, 7};
+  for (std::size_t i = 0; i < 6; ++i) {
+    sched.submit(make_request(prompts[i], budgets[i]));
+  }
+  DrainOutcome out;
+  out.results = sched.drain();
+  out.stats = engine.stats();
+  out.sched_stats = sched.scheduler_stats();
+  return out;
+}
+
+TEST(Scheduler, PressuredLifecycleDeterministicAcrossThreads) {
+  // Admission and preemption decisions feed off page counts, which are
+  // bit-identical after every batch join regardless of the decode thread
+  // count — so the whole lifecycle (including who gets preempted when)
+  // must replay identically at 1, 2 and 8 threads.
+  const DrainOutcome serial = drain_pressured_at(1);
+  ASSERT_EQ(serial.results.size(), 6u);
+  // The budget is genuinely binding in this scenario.
+  EXPECT_GT(serial.sched_stats.preemptions, 0u);
+  EXPECT_GT(serial.sched_stats.deferred_admissions, 0u);
+  for (const std::size_t threads : {2u, 8u}) {
+    const DrainOutcome parallel = drain_pressured_at(threads);
+    ASSERT_EQ(parallel.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+      EXPECT_EQ(parallel.results[i].request_id,
+                serial.results[i].request_id);
+      EXPECT_EQ(parallel.results[i].output, serial.results[i].output);
+      EXPECT_EQ(parallel.results[i].preemptions,
+                serial.results[i].preemptions);
+      EXPECT_EQ(parallel.results[i].first_token_step,
+                serial.results[i].first_token_step);
+      EXPECT_EQ(parallel.results[i].finish_step,
+                serial.results[i].finish_step);
+    }
+    EXPECT_EQ(parallel.sched_stats.steps, serial.sched_stats.steps);
+    EXPECT_EQ(parallel.sched_stats.admitted, serial.sched_stats.admitted);
+    EXPECT_EQ(parallel.sched_stats.preemptions,
+              serial.sched_stats.preemptions);
+    EXPECT_EQ(parallel.sched_stats.deferred_admissions,
+              serial.sched_stats.deferred_admissions);
+    EXPECT_EQ(parallel.sched_stats.prefill_chunks,
+              serial.sched_stats.prefill_chunks);
+    EXPECT_EQ(parallel.stats.prefill_tokens, serial.stats.prefill_tokens);
+    EXPECT_EQ(parallel.stats.decode_steps, serial.stats.decode_steps);
+    EXPECT_EQ(parallel.stats.pages_visited, serial.stats.pages_visited);
+    EXPECT_EQ(parallel.stats.tokens_visited, serial.stats.tokens_visited);
+  }
 }
 
 }  // namespace
