@@ -59,6 +59,38 @@ inline std::string klen(std::size_t n) {
   return std::to_string(n);
 }
 
+/// p-th percentile (0..1) by nearest-rank over a copy of `v`; 0 when empty.
+/// Shared by the serving benches (serving_load, serving_frontend) so the
+/// TTFT/TPOT columns of both are computed identically.
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+/// Latency distribution snapshot in the samples' own unit.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+
+  static LatencySummary from(const std::vector<double>& samples) {
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    s.p50 = percentile(samples, 0.5);
+    s.p95 = percentile(samples, 0.95);
+    s.p99 = percentile(samples, 0.99);
+    double total = 0.0;
+    for (const double x : samples) total += x;
+    s.mean = total / static_cast<double>(samples.size());
+    return s;
+  }
+};
+
 /// Per-decode-step host-side serving overhead (Python dispatch, sampling,
 /// scheduling) common to every PyTorch-based system in the comparison.
 /// Calibrated from the artifact's Table 7: LServe's published 64K latency

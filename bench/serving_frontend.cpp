@@ -1,0 +1,267 @@
+// Serving front-end bench: open-loop loopback traffic against the real
+// network stack (EventLoop + HttpParser + SSE over HttpServer), reporting
+// TTFT/TPOT percentiles and goodput at configurable arrival rates.
+//
+// Open-loop means requests arrive on a fixed schedule (request i at
+// t0 + i/rate) regardless of completions — the arrival process does not
+// slow down when the server falls behind, so queueing delay shows up in
+// the TTFT tail exactly as it would under real traffic. A final scenario
+// aborts every k-th stream mid-flight by closing the socket after two
+// token events: the server must cancel those requests and return every
+// page to the pool (verified against the engine allocators at the end).
+//
+//   bench_serving_frontend [n_requests] [rate1 rate2 ...]   (req/s)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/baseline_engines.hpp"
+#include "common.hpp"
+#include "net/server.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace lserve;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kPromptTokens = 48;
+constexpr std::size_t kNewTokens = 12;
+constexpr std::size_t kAbortAfterTokens = 2;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct ClientOutcome {
+  int http_status = 0;
+  std::string status;     ///< terminal SSE status ("" if none seen).
+  std::size_t tokens = 0; ///< token events received.
+  bool aborted = false;   ///< we closed the socket mid-stream by design.
+  double ttft_ms = -1.0;
+  double total_ms = 0.0;
+};
+
+/// One blocking-socket SSE client: POSTs /v1/generate and consumes the
+/// stream, optionally hanging up after `abort_after` token events.
+ClientOutcome run_client(std::uint16_t port, std::uint64_t seed,
+                         std::size_t abort_after) {
+  ClientOutcome out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  const std::string body = "{\"prompt_len\":" +
+                           std::to_string(kPromptTokens) +
+                           ",\"max_new_tokens\":" +
+                           std::to_string(kNewTokens) +
+                           ",\"seed\":" + std::to_string(seed) + "}";
+  const std::string request =
+      "POST /v1/generate HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return out;
+  }
+
+  const auto t0 = Clock::now();
+  std::string stream;
+  std::size_t scanned = 0;  ///< prefix of `stream` already event-counted.
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    stream.append(buf, static_cast<std::size_t>(n));
+    if (out.http_status == 0) {
+      const std::size_t eol = stream.find("\r\n");
+      if (eol != std::string::npos && stream.size() >= 12) {
+        out.http_status = std::atoi(stream.c_str() + 9);
+        if (out.http_status != 200) break;
+      }
+    }
+    std::size_t pos;
+    while ((pos = stream.find("event: token", scanned)) !=
+           std::string::npos) {
+      scanned = pos + 12;
+      if (out.tokens == 0) out.ttft_ms = ms_since(t0);
+      ++out.tokens;
+    }
+    if (abort_after != 0 && out.tokens >= abort_after) {
+      out.aborted = true;
+      break;
+    }
+    const std::size_t done = stream.find("event: done");
+    if (done != std::string::npos &&
+        stream.find("\n\n", done) != std::string::npos) {
+      const std::size_t st = stream.find("\"status\":\"", done);
+      if (st != std::string::npos) {
+        const std::size_t begin = st + 10;
+        out.status = stream.substr(begin, stream.find('"', begin) - begin);
+      }
+      break;
+    }
+  }
+  out.total_ms = ms_since(t0);
+  ::close(fd);
+  return out;
+}
+
+struct ScenarioResult {
+  std::vector<double> ttft_ms;
+  std::vector<double> tpot_ms;
+  std::size_t finished = 0;
+  std::size_t aborted = 0;
+  std::size_t failed = 0;  ///< non-200, connect errors, truncated streams.
+  std::size_t goodput_tokens = 0;
+  double wall_s = 0.0;
+};
+
+/// Fires `n` requests open-loop at `rate` req/s; every `abort_every`-th
+/// request (0 = never) hangs up after kAbortAfterTokens token events.
+ScenarioResult run_open_loop(std::uint16_t port, double rate, std::size_t n,
+                             std::size_t abort_every) {
+  ScenarioResult result;
+  std::mutex mu;
+  std::vector<std::thread> clients;
+  clients.reserve(n);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.emplace_back([&, i] {
+      const auto arrival =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(static_cast<double>(i) /
+                                                 rate));
+      std::this_thread::sleep_until(arrival);
+      const std::size_t abort_after =
+          (abort_every != 0 && i % abort_every == abort_every - 1)
+              ? kAbortAfterTokens
+              : 0;
+      const ClientOutcome out = run_client(port, /*seed=*/i, abort_after);
+
+      std::lock_guard<std::mutex> lock(mu);
+      if (out.aborted) {
+        ++result.aborted;
+      } else if (out.http_status == 200 && out.status == "FINISHED") {
+        ++result.finished;
+        result.goodput_tokens += out.tokens;
+        result.ttft_ms.push_back(out.ttft_ms);
+        if (out.tokens > 1) {
+          result.tpot_ms.push_back((out.total_ms - out.ttft_ms) /
+                                   static_cast<double>(out.tokens - 1));
+        }
+      } else {
+        ++result.failed;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  result.wall_s = ms_since(t0) / 1000.0;
+  return result;
+}
+
+void report(const std::string& label, const ScenarioResult& r) {
+  const bench::LatencySummary ttft = bench::LatencySummary::from(r.ttft_ms);
+  const bench::LatencySummary tpot = bench::LatencySummary::from(r.tpot_ms);
+  bench::row(label,
+             {bench::fmt(ttft.p50, 1), bench::fmt(ttft.p95, 1),
+              bench::fmt(tpot.p50, 2), bench::fmt(tpot.p95, 2),
+              bench::fmt(r.wall_s > 0.0 ? static_cast<double>(
+                                              r.goodput_tokens) /
+                                              r.wall_s
+                                        : 0.0,
+                         0),
+              std::to_string(r.finished) + "/" + std::to_string(r.aborted) +
+                  "/" + std::to_string(r.failed)},
+             26, 11);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 24;
+  std::vector<double> rates;
+  if (argc > 1) {
+    const long parsed = std::strtol(argv[1], nullptr, 10);
+    if (parsed > 0) n = static_cast<std::size_t>(parsed);
+  }
+  for (int i = 2; i < argc; ++i) {
+    const double rate = std::strtod(argv[i], nullptr);
+    if (rate > 0.0) rates.push_back(rate);
+  }
+  if (rates.empty()) rates = {25.0, 100.0};
+
+  serve::EngineConfig ec = baselines::lserve_config(model::tiny());
+  ec.prefill_chunk_tokens = 32;
+  serve::Engine engine(ec);
+  serve::SchedulerConfig sc;
+  sc.max_batch = 8;
+  serve::Scheduler sched(engine, sc);
+  net::ServerConfig server_cfg;
+  server_cfg.port = 0;  // ephemeral loopback port.
+  net::HttpServer server(sched, server_cfg);
+  const std::uint16_t port = server.start();
+
+  bench::section("Serving front-end (model=tiny, HTTP/1.1 + SSE on 127.0.0.1:" +
+                 std::to_string(port) + "): " + std::to_string(n) +
+                 " open-loop requests, " + std::to_string(kPromptTokens) +
+                 "-token prompts, " + std::to_string(kNewTokens) +
+                 " new tokens");
+  bench::row("scenario",
+             {"TTFTp50", "TTFTp95", "TPOTp50", "TPOTp95", "tok/s",
+              "fin/ab/fail"},
+             26, 11);
+  for (const double rate : rates) {
+    report(bench::fmt(rate, 0) + " req/s",
+           run_open_loop(port, rate, n, /*abort_every=*/0));
+  }
+  // Mid-stream aborts: every 3rd client hangs up after two token events;
+  // the server must cancel those requests so they stop consuming steps.
+  const ScenarioResult aborts =
+      run_open_loop(port, rates.back(), n, /*abort_every=*/3);
+  report(bench::fmt(rates.back(), 0) + " req/s + aborts", aborts);
+
+  // Every aborted stream's cancel must be fully absorbed: wait for the
+  // scheduler to go quiet, then check the allocators are empty.
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (sched.live_requests() > 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server.stop();
+  const std::size_t leaked = engine.total_pages_in_use();
+  std::printf(
+      "\nTTFT/TPOT in ms end-to-end over loopback (connect + HTTP + SSE\n"
+      "framing included); tok/s counts finished streams only. Abort\n"
+      "scenario: %zu streams closed mid-flight by the client, %zu\n"
+      "cancellations reached the scheduler (a fast request can finish\n"
+      "before its disconnect is seen), %zu pages still allocated after\n"
+      "drain (%s).\n",
+      aborts.aborted, sched.scheduler_stats().cancelled, leaked,
+      leaked == 0 ? "all reclaimed" : "LEAK");
+  return leaked == 0 ? 0 : 1;
+}

@@ -49,12 +49,7 @@ struct RunOutcome {
   std::size_t completed = 0;
 };
 
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) + 0.5);
-  return v[idx];
-}
+using bench::percentile;
 
 /// 12 short + 3 long requests, longs interleaved so monolithic admission
 /// puts a long prefill in front of running short decodes.

@@ -1,0 +1,131 @@
+#include "net/event_loop.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+namespace lserve::net {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("net: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+EventLoop::EventLoop() {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    throw std::runtime_error("EventLoop: pipe() failed");
+  }
+  wake_read_ = pipefd[0];
+  wake_write_ = pipefd[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_read_);
+  ::close(wake_write_);
+}
+
+void EventLoop::add(int fd, std::uint32_t interest, IoHandler handler) {
+  fds_[fd] = Entry{interest, std::move(handler), next_gen_++};
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  const auto it = fds_.find(fd);
+  if (it != fds_.end()) it->second.interest = interest;
+}
+
+void EventLoop::remove(int fd) { fds_.erase(fd); }
+
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+void EventLoop::drain_tasks() {
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks.swap(tasks_);
+  }
+  for (Task& task : tasks) task();
+}
+
+void EventLoop::run() {
+  std::vector<pollfd> pfds;
+  /// pfds[i] watches order[i].first, registered as generation .second.
+  std::vector<std::pair<int, std::uint64_t>> order;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) {
+        stop_ = false;  // re-runnable (tests start/stop the same loop).
+        return;
+      }
+    }
+    drain_tasks();
+
+    pfds.clear();
+    order.clear();
+    pfds.push_back(pollfd{wake_read_, POLLIN, 0});
+    order.emplace_back(wake_read_, 0);
+    for (const auto& [fd, entry] : fds_) {
+      short events = 0;
+      if (entry.interest & kReadable) events |= POLLIN;
+      if (entry.interest & kWritable) events |= POLLOUT;
+      pfds.push_back(pollfd{fd, events, 0});
+      order.emplace_back(fd, entry.gen);
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/500);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("EventLoop: poll() failed");
+    }
+
+    if (pfds[0].revents != 0) {
+      char buf[256];
+      while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      // A handler may have removed this fd while handling an earlier
+      // one — or removed it AND a new connection re-registered the same
+      // fd number (accept reuses the lowest free fd). The generation
+      // check keeps stale results away from the new registration.
+      const auto it = fds_.find(order[i].first);
+      if (it == fds_.end() || it->second.gen != order[i].second) continue;
+      std::uint32_t events = 0;
+      if (pfds[i].revents & POLLIN) events |= kReadable;
+      if (pfds[i].revents & POLLOUT) events |= kWritable;
+      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kError;
+      // Copy: the handler may remove/replace its own entry.
+      const IoHandler handler = it->second.handler;
+      handler(events);
+    }
+  }
+}
+
+}  // namespace lserve::net

@@ -1,0 +1,251 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace lserve::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(
+    std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+void HttpParser::fail(std::string message) {
+  state_ = State::kError;
+  error_ = std::move(message);
+}
+
+void HttpParser::reset() {
+  state_ = State::kHeaders;
+  buf_.clear();
+  body_expected_ = 0;
+  req_ = HttpRequest{};
+  error_.clear();
+}
+
+HttpParser::State HttpParser::feed(std::string_view data) {
+  if (state_ == State::kComplete || state_ == State::kError) return state_;
+  buf_.append(data);
+
+  if (state_ == State::kHeaders) {
+    if (buf_.size() > limits_.max_header_bytes) {
+      fail("header section exceeds limit");
+      return state_;
+    }
+    // Tolerate bare-LF line endings alongside CRLF (curl always sends
+    // CRLF; hand-rolled test clients may not).
+    std::size_t head_end = buf_.find("\r\n\r\n");
+    std::size_t sep = 4;
+    if (head_end == std::string::npos) {
+      head_end = buf_.find("\n\n");
+      sep = 2;
+    }
+    if (head_end == std::string::npos) return state_;
+
+    const std::string head = buf_.substr(0, head_end);
+    buf_.erase(0, head_end + sep);
+    // Parse the request line + headers out of `head`.
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos <= head.size()) {
+      std::size_t eol = head.find('\n', pos);
+      if (eol == std::string::npos) eol = head.size();
+      std::string_view line(head.data() + pos, eol - pos);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      pos = eol + 1;
+      if (first) {
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+        if (sp1 == std::string_view::npos ||
+            sp2 == std::string_view::npos) {
+          fail("malformed request line");
+          return state_;
+        }
+        req_.method = std::string(line.substr(0, sp1));
+        req_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+        req_.version = std::string(line.substr(sp2 + 1));
+        if (req_.version.rfind("HTTP/", 0) != 0) {
+          fail("unsupported protocol version");
+          return state_;
+        }
+        first = false;
+      } else if (!line.empty()) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) {
+          fail("malformed header line");
+          return state_;
+        }
+        req_.headers.emplace_back(
+            std::string(trim(line.substr(0, colon))),
+            std::string(trim(line.substr(colon + 1))));
+      }
+    }
+    if (first) {
+      fail("empty request head");
+      return state_;
+    }
+
+    if (const std::string* te = req_.header("Transfer-Encoding");
+        te != nullptr && !iequals(*te, "identity")) {
+      fail("Transfer-Encoding not supported");
+      return state_;
+    }
+    if (const std::string* cl = req_.header("Content-Length")) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(cl->c_str(), &end, 10);
+      if (end == cl->c_str() || *end != '\0') {
+        fail("malformed Content-Length");
+        return state_;
+      }
+      if (n > limits_.max_body_bytes) {
+        fail("body exceeds limit");
+        return state_;
+      }
+      body_expected_ = static_cast<std::size_t>(n);
+    }
+    state_ = State::kBody;
+  }
+
+  if (state_ == State::kBody) {
+    if (buf_.size() >= body_expected_) {
+      req_.body = buf_.substr(0, body_expected_);
+      buf_.erase(0, body_expected_);
+      state_ = State::kComplete;
+    }
+  }
+  return state_;
+}
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string sse_response_head() {
+  return
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/event-stream\r\n"
+      "Cache-Control: no-store\r\n"
+      "Connection: close\r\n\r\n";
+}
+
+std::string sse_event(std::string_view event, std::string_view data) {
+  std::string out = "event: ";
+  out += event;
+  out += "\ndata: ";
+  out += data;
+  out += "\n\n";
+  return out;
+}
+
+namespace {
+
+/// Position just past `"key"` followed by ':', or npos.
+std::size_t find_key_value(std::string_view body, std::string_view key) {
+  // Built by append (not operator+) to sidestep GCC 12's spurious
+  // -Wrestrict on small string concatenations.
+  std::string quoted;
+  quoted.reserve(key.size() + 2);
+  quoted.push_back('"');
+  quoted.append(key);
+  quoted.push_back('"');
+  std::size_t pos = 0;
+  while ((pos = body.find(quoted, pos)) != std::string_view::npos) {
+    std::size_t after = pos + quoted.size();
+    while (after < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[after]))) {
+      ++after;
+    }
+    if (after < body.size() && body[after] == ':') return after + 1;
+    pos += quoted.size();
+  }
+  return std::string_view::npos;
+}
+
+std::optional<std::int64_t> parse_int_at(std::string_view body,
+                                         std::size_t& pos) {
+  while (pos < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[pos]))) {
+    ++pos;
+  }
+  const char* start = body.data() + pos;
+  char* end = nullptr;
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start) return std::nullopt;
+  pos += static_cast<std::size_t>(end - start);
+  return v;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> json_find_int(std::string_view body,
+                                          std::string_view key) {
+  std::size_t pos = find_key_value(body, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return parse_int_at(body, pos);
+}
+
+std::optional<std::vector<std::int32_t>> json_find_int_array(
+    std::string_view body, std::string_view key) {
+  std::size_t pos = find_key_value(body, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  while (pos < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[pos]))) {
+    ++pos;
+  }
+  if (pos >= body.size() || body[pos] != '[') return std::nullopt;
+  ++pos;
+  std::vector<std::int32_t> out;
+  for (;;) {
+    while (pos < body.size() &&
+           (std::isspace(static_cast<unsigned char>(body[pos])) ||
+            body[pos] == ',')) {
+      ++pos;
+    }
+    if (pos >= body.size()) return std::nullopt;  // unterminated array.
+    if (body[pos] == ']') return out;
+    const auto v = parse_int_at(body, pos);
+    if (!v) return std::nullopt;
+    out.push_back(static_cast<std::int32_t>(*v));
+  }
+}
+
+}  // namespace lserve::net

@@ -1,0 +1,366 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace lserve::net {
+
+namespace {
+
+std::string status_json(const serve::RequestResult& result) {
+  std::string out = "{\"status\":\"";
+  out += serve::to_string(result.status);
+  out += "\",\"request_id\":" + std::to_string(result.request_id);
+  out += ",\"tokens\":" + std::to_string(result.output.size());
+  out += ",\"preemptions\":" + std::to_string(result.preemptions);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(serve::Scheduler& sched, ServerConfig cfg)
+    : sched_(sched), cfg_(cfg) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+std::uint16_t HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: bind/listen on 127.0.0.1:" +
+                             std::to_string(cfg_.port) + " failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  loop_.add(listen_fd_, kReadable, [this](std::uint32_t) { on_accept(); });
+  loop_thread_ = std::thread([this] { loop_.run(); });
+  sched_thread_ = std::thread([this] {
+    // The serving loop: drain all scheduler work, then sleep until a
+    // submission or cancellation arrives. step() only throws once the
+    // engine is genuinely poisoned (see Scheduler::step); after that the
+    // front-end answers 500 instead of crashing the process.
+    while (!sched_.stop_requested()) {
+      try {
+        sched_.run_until_idle();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[lserve_serve] scheduler thread: %s\n",
+                     e.what());
+        sched_dead_.store(true);
+        return;
+      }
+      sched_.wait_for_work(std::chrono::milliseconds(50));
+    }
+  });
+  started_ = true;
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  started_ = false;
+
+  // Cancel every live stream from the loop thread (streams_ is loop-owned)
+  // and wait for the scheduler to process the cancellations — pages
+  // reclaimed, on_done delivered — before tearing the threads down.
+  loop_.post([this] {
+    for (const auto& [id, fd] : streams_) sched_.cancel(id);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sched_.live_requests() > 0 && !sched_dead_.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // live_requests()==0 guarantees every on_done ran, but their posted
+  // `done` events may still sit in the loop's task queue (and loop_.stop()
+  // discards unprocessed tasks). A sentinel posted now runs after all of
+  // them — once it fires, every terminal frame has been written out.
+  {
+    auto drained = std::make_shared<std::promise<void>>();
+    std::future<void> drained_future = drained->get_future();
+    loop_.post([drained] { drained->set_value(); });
+    drained_future.wait_for(std::chrono::seconds(5));
+  }
+
+  sched_.request_stop();
+  loop_.stop();
+  if (sched_thread_.joinable()) sched_thread_.join();
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  streams_.clear();
+  active_streams_.store(0);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::on_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): nothing queued.
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->parser = HttpParser(cfg_.http_limits);
+    conns_.emplace(fd, std::move(conn));
+    loop_.add(fd, kReadable,
+              [this, fd](std::uint32_t events) {
+                on_connection_event(fd, events);
+              });
+  }
+}
+
+void HttpServer::close_connection(int fd, bool cancel_stream) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.streaming) {
+    const auto sit = streams_.find(conn.request_id);
+    if (sit != streams_.end() && sit->second == fd) {
+      // Disconnect before the terminal event: abort the request so its
+      // pages go back to the pool instead of decoding for a dead socket.
+      if (cancel_stream) sched_.cancel(conn.request_id);
+      streams_.erase(sit);
+      active_streams_.fetch_sub(1);
+    }
+  }
+  loop_.remove(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void HttpServer::on_connection_event(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & kError) {
+    close_connection(fd, /*cancel_stream=*/true);
+    return;
+  }
+  if (events & kReadable) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        // Bytes after a complete request on a streaming connection are
+        // ignored (we don't pipeline); keep reading so disconnects are
+        // still observed.
+        if (!conn.parser.complete()) {
+          conn.parser.feed(std::string_view(buf, static_cast<size_t>(n)));
+          if (conn.parser.failed()) {
+            // respond() may flush-and-close, destroying conn — return
+            // without touching it again.
+            respond(conn, 400, "Bad Request",
+                    "{\"error\":\"" + conn.parser.error() + "\"}");
+            return;
+          }
+          if (conn.parser.complete()) {
+            route(conn);
+            // route() may close on error paths; re-check liveness.
+            if (conns_.find(fd) == conns_.end()) return;
+          }
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed.
+        close_connection(fd, /*cancel_stream=*/true);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_connection(fd, /*cancel_stream=*/true);
+      return;
+    }
+  }
+  if (events & kWritable) flush(conn);
+}
+
+void HttpServer::respond(Connection& conn, int status,
+                         std::string_view reason, std::string_view body) {
+  conn.outbuf += http_response(status, reason, "application/json", body);
+  conn.close_after_flush = true;
+  flush(conn);
+}
+
+void HttpServer::route(Connection& conn) {
+  const HttpRequest& req = conn.parser.request();
+  if (req.method == "POST" && req.target == "/v1/generate") {
+    handle_generate(conn);
+  } else if (req.method == "GET" && req.target == "/healthz") {
+    handle_healthz(conn);
+  } else {
+    respond(conn, 404, "Not Found", "{\"error\":\"no such endpoint\"}");
+  }
+}
+
+void HttpServer::handle_healthz(Connection& conn) {
+  std::string body = "{\"status\":\"";
+  body += sched_dead_.load() ? "poisoned" : "ok";
+  body += "\",\"live_requests\":" + std::to_string(sched_.live_requests());
+  body += ",\"active_streams\":" + std::to_string(active_streams_.load());
+  body += "}";
+  if (sched_dead_.load()) {
+    respond(conn, 500, "Internal Server Error", body);
+  } else {
+    respond(conn, 200, "OK", body);
+  }
+}
+
+void HttpServer::handle_generate(Connection& conn) {
+  if (sched_dead_.load()) {
+    respond(conn, 500, "Internal Server Error",
+            "{\"error\":\"engine poisoned\"}");
+    return;
+  }
+  if (cfg_.max_live > 0 && sched_.live_requests() >= cfg_.max_live) {
+    // Backpressure: defer admission to the client instead of queueing
+    // unboundedly. 503 + Retry-After semantics are the open-loop bench's
+    // "dropped" bucket.
+    respond(conn, 503, "Service Unavailable",
+            "{\"error\":\"overloaded\"}");
+    return;
+  }
+
+  const std::string& body = conn.parser.request().body;
+  serve::Request req;
+  if (const auto prompt = json_find_int_array(body, "prompt")) {
+    req.prompt = *prompt;
+  } else if (const auto len = json_find_int(body, "prompt_len");
+             len && *len > 0 &&
+             static_cast<std::uint64_t>(*len) <= cfg_.max_prompt_tokens) {
+    // Synthetic prompt: deterministic in (len, seed) — the loopback
+    // bench's traffic generator, and what the curl smoke test uses.
+    // The bound is checked BEFORE the resize: a hostile prompt_len must
+    // not drive an allocation.
+    const std::int64_t seed = json_find_int(body, "seed").value_or(0);
+    req.prompt.resize(static_cast<std::size_t>(*len));
+    for (std::size_t i = 0; i < req.prompt.size(); ++i) {
+      req.prompt[i] = static_cast<std::int32_t>(
+          (i * 131 + static_cast<std::size_t>(seed) * 31 + 7) % 1021);
+    }
+  }
+  if (req.prompt.empty() || req.prompt.size() > cfg_.max_prompt_tokens) {
+    respond(conn, 400, "Bad Request",
+            "{\"error\":\"prompt or prompt_len (1.." +
+                std::to_string(cfg_.max_prompt_tokens) + ") required\"}");
+    return;
+  }
+  req.max_new_tokens = static_cast<std::size_t>(
+      json_find_int(body, "max_new_tokens")
+          .value_or(static_cast<std::int64_t>(cfg_.default_max_new_tokens)));
+  if (req.max_new_tokens == 0 ||
+      req.max_new_tokens > cfg_.max_new_tokens_cap) {
+    respond(conn, 400, "Bad Request",
+            "{\"error\":\"max_new_tokens must be 1.." +
+                std::to_string(cfg_.max_new_tokens_cap) + "\"}");
+    return;
+  }
+  req.deadline_steps = static_cast<std::size_t>(
+      json_find_int(body, "deadline_steps").value_or(0));
+
+  // The callbacks run on the scheduler thread; they post the event onto
+  // the loop thread, which owns all connection state.
+  req.on_token = [this](std::uint64_t id, std::int32_t token,
+                        std::size_t index) { post_token(id, token, index); };
+  req.on_done = [this](const serve::RequestResult& result) {
+    post_done(result);
+  };
+
+  const std::uint64_t id = sched_.submit(std::move(req));
+  conn.streaming = true;
+  conn.request_id = id;
+  streams_.emplace(id, conn.fd);
+  active_streams_.fetch_add(1);
+  conn.outbuf += sse_response_head();
+  flush(conn);
+}
+
+void HttpServer::post_token(std::uint64_t request_id, std::int32_t token,
+                            std::size_t index) {
+  loop_.post([this, request_id, token, index] {
+    const auto sit = streams_.find(request_id);
+    if (sit == streams_.end()) return;  // stream already torn down.
+    const auto cit = conns_.find(sit->second);
+    if (cit == conns_.end()) return;
+    cit->second->outbuf +=
+        sse_event("token", "{\"index\":" + std::to_string(index) +
+                               ",\"token\":" + std::to_string(token) + "}");
+    flush(*cit->second);
+  });
+}
+
+void HttpServer::post_done(const serve::RequestResult& result) {
+  const std::uint64_t request_id = result.request_id;
+  std::string payload = status_json(result);
+  loop_.post([this, request_id, payload = std::move(payload)] {
+    const auto sit = streams_.find(request_id);
+    if (sit == streams_.end()) return;
+    const int fd = sit->second;
+    streams_.erase(sit);
+    active_streams_.fetch_sub(1);
+    const auto cit = conns_.find(fd);
+    if (cit == conns_.end()) return;
+    Connection& conn = *cit->second;
+    conn.streaming = false;  // terminal event sent; nothing to cancel.
+    conn.outbuf += sse_event("done", payload);
+    conn.close_after_flush = true;
+    flush(conn);
+  });
+}
+
+void HttpServer::flush(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full (slow consumer): wait for POLLOUT. Tokens keep
+      // queueing in outbuf — the stream is not dropped, just deferred.
+      loop_.set_interest(conn.fd, kReadable | kWritable);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(conn.fd, /*cancel_stream=*/true);  // EPIPE etc.
+    return;
+  }
+  loop_.set_interest(conn.fd, kReadable);
+  if (conn.close_after_flush) close_connection(conn.fd, false);
+}
+
+}  // namespace lserve::net

@@ -122,6 +122,7 @@ std::vector<float> Engine::calibrate_head_kinds() {
 }
 
 SequenceId Engine::create_sequence() {
+  ++stats_.sequences_created;
   // Reuse a released slot if available.
   for (std::size_t i = 0; i < sequences_.size(); ++i) {
     if (sequences_[i] == nullptr) {
@@ -138,6 +139,7 @@ SequenceId Engine::create_sequence() {
 }
 
 void Engine::release_sequence(SequenceId id) {
+  ++stats_.sequences_released;
   assert(id < sequences_.size() && sequences_[id] != nullptr);
   sequences_[id]->cache.release(dense_alloc_, stream_alloc_);
   sequences_[id].reset();

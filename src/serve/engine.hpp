@@ -70,6 +70,9 @@ struct EngineStats {
   std::size_t tokens_visited = 0;  ///< decode attention token iterations.
   std::size_t selector_runs = 0;
   std::size_t selector_reuses = 0;
+  std::size_t sequences_created = 0;   ///< create_sequence() calls.
+  std::size_t sequences_released = 0;  ///< release_sequence() calls — equal
+                                       ///< when no sequence is live.
 };
 
 /// Long-sequence serving engine with unified sparse attention.

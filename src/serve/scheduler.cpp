@@ -3,8 +3,21 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace lserve::serve {
+
+const char* to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kFinished:
+      return "FINISHED";
+    case RequestStatus::kCancelled:
+      return "CANCELLED";
+    case RequestStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
 
 Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
     : engine_(engine), cfg_(cfg) {
@@ -18,39 +31,217 @@ Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
                      std::size_t decode_threads)
     : Scheduler(engine,
                 SchedulerConfig{max_batch, decode_threads,
-                                /*page_budget=*/0}) {}
-
-bool Scheduler::in_flight(std::uint64_t id) const noexcept {
-  for (const Pending& p : waiting_) {
-    if (p.req.request_id == id) return true;
-  }
-  for (const Running& r : running_) {
-    if (r.pend.req.request_id == id) return true;
-  }
-  return false;
-}
+                                /*page_budget=*/0,
+                                /*default_deadline_steps=*/0}) {}
 
 std::uint64_t Scheduler::submit(Request req) {
   if (req.prompt.empty()) {
     throw std::invalid_argument("Scheduler::submit: empty prompt");
   }
-  if (req.request_id == 0) {
-    req.request_id = next_id_++;
-  } else {
-    if (in_flight(req.request_id)) {
-      throw std::invalid_argument(
-          "Scheduler::submit: request_id collides with an in-flight "
-          "request");
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (req.request_id == 0) {
+      req.request_id = next_id_++;
+    } else {
+      if (live_ids_.count(req.request_id) != 0) {
+        throw std::invalid_argument(
+            "Scheduler::submit: request_id collides with an in-flight "
+            "request");
+      }
+      // Never auto-assign an id at or below a user-supplied one.
+      next_id_ = std::max(next_id_, req.request_id + 1);
     }
-    // Never auto-assign an id at or below a user-supplied one.
-    next_id_ = std::max(next_id_, req.request_id + 1);
+    id = req.request_id;
+    live_ids_.insert(id);
+    Pending pend;
+    pend.req = std::move(req);
+    submit_inbox_.push_back(std::move(pend));
   }
-  const std::uint64_t id = req.request_id;
-  Pending pend;
-  pend.submit_step = stats_.steps;
-  pend.req = std::move(req);
-  waiting_.push_back(std::move(pend));
+  work_cv_.notify_all();
   return id;
+}
+
+bool Scheduler::cancel(std::uint64_t request_id, RequestStatus status) {
+  if (status == RequestStatus::kFinished) {
+    throw std::invalid_argument(
+        "Scheduler::cancel: kFinished is not a cancellation status");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (live_ids_.count(request_id) == 0) return false;
+    cancel_inbox_.emplace_back(request_id, status);
+  }
+  work_cv_.notify_all();
+  return true;
+}
+
+void Scheduler::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool Scheduler::stop_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+std::size_t Scheduler::live_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ids_.size();
+}
+
+bool Scheduler::wait_for_work(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait_for(lock, timeout, [&] {
+    return stop_ || !submit_inbox_.empty() || !cancel_inbox_.empty();
+  });
+  return !stop_ && (!submit_inbox_.empty() || !cancel_inbox_.empty());
+}
+
+void Scheduler::drain_inboxes(
+    std::vector<std::pair<std::uint64_t, RequestStatus>>& cancels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!submit_inbox_.empty()) {
+    Pending pend = std::move(submit_inbox_.front());
+    submit_inbox_.pop_front();
+    // "Steps completed when submitted": the request was handed over
+    // before the current step began, so it is one behind the counter the
+    // caller of step() just incremented. Single-threaded callers get the
+    // exact pre-inbox semantics; cross-thread callers get a stamp that
+    // never races the step counter.
+    pend.submit_step = stats_.steps - 1;
+    waiting_.push_back(std::move(pend));
+  }
+  cancels.swap(cancel_inbox_);
+}
+
+std::size_t Scheduler::effective_deadline(
+    const Pending& pend) const noexcept {
+  return pend.req.deadline_steps != 0 ? pend.req.deadline_steps
+                                      : cfg_.default_deadline_steps;
+}
+
+void Scheduler::finish(Pending pend, std::vector<std::int32_t> output,
+                       RequestStatus status) {
+  // Tokens restored by a preemption replay can still be undelivered here
+  // (preemption runs before the step's delivery pass); stream them now so
+  // the terminal result never reports a token on_token did not see.
+  if (pend.req.on_token) {
+    for (std::size_t i = pend.delivered; i < output.size(); ++i) {
+      pend.req.on_token(pend.req.request_id, output[i], i);
+    }
+  }
+  RequestResult result;
+  result.request_id = pend.req.request_id;
+  result.status = status;
+  result.prompt_tokens = pend.req.prompt.size();
+  result.decode_steps = output.empty() ? 0 : output.size() - 1;
+  result.preemptions = pend.preemptions;
+  result.submit_step = pend.submit_step;
+  result.first_token_step = pend.first_token_step;
+  result.finish_step = stats_.steps;
+  result.output = std::move(output);
+  switch (status) {
+    case RequestStatus::kFinished:
+      break;
+    case RequestStatus::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case RequestStatus::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      break;
+  }
+  const std::uint64_t id = pend.req.request_id;
+  results_.push_back(std::move(result));
+  if (pend.req.on_done) {
+    // No lock held: the callback may call submit()/cancel() freely.
+    pend.req.on_done(results_.back());
+  }
+  // The id stays live until after on_done returns, so a caller that
+  // watches live_requests() reach zero (e.g. HttpServer::stop) knows
+  // every terminal callback has already run. A collision re-submit of
+  // the same id is therefore still rejected from inside its own on_done.
+  std::lock_guard<std::mutex> lock(mu_);
+  live_ids_.erase(id);
+}
+
+void Scheduler::terminate_running(std::size_t slot, RequestStatus status) {
+  Running run = std::move(running_[slot]);
+  running_[slot] = std::move(running_.back());
+  running_.pop_back();
+  // Pages are reclaimed exactly like preemption, but the request is
+  // terminal instead of re-queued.
+  engine_.sequence(run.seq).phase = SequencePhase::kCancelled;
+  engine_.release_sequence(run.seq);
+  // Mid-prefill after a preemption the restored output still lives in
+  // pend.resumed; everything already streamed must appear in the result.
+  std::vector<std::int32_t> output = run.output.empty()
+                                         ? std::move(run.pend.resumed)
+                                         : std::move(run.output);
+  finish(std::move(run.pend), std::move(output), status);
+}
+
+void Scheduler::apply_cancellations(
+    const std::vector<std::pair<std::uint64_t, RequestStatus>>& cancels) {
+  for (const auto& [id, status] : cancels) {
+    bool handled = false;
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      if (it->req.request_id != id) continue;
+      Pending pend = std::move(*it);
+      waiting_.erase(it);
+      std::vector<std::int32_t> output = std::move(pend.resumed);
+      finish(std::move(pend), std::move(output), status);
+      handled = true;
+      break;
+    }
+    if (handled) continue;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].pend.req.request_id != id) continue;
+      terminate_running(i, status);
+      break;
+    }
+    // Not found: the request went terminal between cancel() and this step
+    // boundary — nothing to do.
+  }
+}
+
+void Scheduler::enforce_deadlines() {
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    const std::size_t d = effective_deadline(*it);
+    if (d != 0 && stats_.steps - it->submit_step > d) {
+      Pending pend = std::move(*it);
+      it = waiting_.erase(it);
+      std::vector<std::int32_t> output = std::move(pend.resumed);
+      finish(std::move(pend), std::move(output),
+             RequestStatus::kDeadlineExceeded);
+    } else {
+      ++it;
+    }
+  }
+  for (std::size_t i = 0; i < running_.size();) {
+    const std::size_t d = effective_deadline(running_[i].pend);
+    if (d != 0 && stats_.steps - running_[i].pend.submit_step > d) {
+      terminate_running(i, RequestStatus::kDeadlineExceeded);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Scheduler::deliver_tokens(Running& run) {
+  if (!run.pend.req.on_token) {
+    run.pend.delivered = run.output.size();
+    return;
+  }
+  while (run.pend.delivered < run.output.size()) {
+    const std::size_t index = run.pend.delivered;
+    run.pend.req.on_token(run.pend.req.request_id, run.output[index], index);
+    ++run.pend.delivered;
+  }
 }
 
 void Scheduler::admit() {
@@ -198,10 +389,20 @@ bool Scheduler::step() {
         "engine cannot keep serving");
   }
   ++stats_.steps;
+  // Step boundary: splice cross-thread submissions in, then apply
+  // cancellations and deadlines before any new engine work is scheduled
+  // (a cancelled request never costs another decode step).
+  std::vector<std::pair<std::uint64_t, RequestStatus>> cancels;
+  drain_inboxes(cancels);
+  apply_cancellations(cancels);
+  enforce_deadlines();
   admit();
   if (running_.empty()) {
     assert(waiting_.empty() && "admit() always admits when nothing runs");
-    return false;
+    // An on_done fired by the cancellation/deadline handling above may
+    // have submitted new work; it sits in the inbox until the next step.
+    std::lock_guard<std::mutex> lock(mu_);
+    return !submit_inbox_.empty() || !cancel_inbox_.empty();
   }
   advance_prefill();
   preempt_for_memory();
@@ -238,35 +439,44 @@ bool Scheduler::step() {
     running_[slots[j]].output.push_back(next[j]);
   }
 
+  // Stream every token committed this step (the decode batch above plus a
+  // first token produced by advance_prefill) before retirement, so a
+  // request's final on_token precedes its on_done.
+  for (Running& run : running_) deliver_tokens(run);
+
   // Retire finished sequences (swap-erase keeps iteration simple).
   for (std::size_t i = 0; i < running_.size();) {
     Running& run = running_[i];
     if (run.phase == SequencePhase::kDecoding &&
         run.output.size() >= run.pend.req.max_new_tokens) {
-      RequestResult result;
-      result.request_id = run.pend.req.request_id;
-      result.prompt_tokens = run.pend.req.prompt.size();
-      result.decode_steps = run.output.size() - 1;
-      result.preemptions = run.pend.preemptions;
-      result.submit_step = run.pend.submit_step;
-      result.first_token_step = run.pend.first_token_step;
-      result.finish_step = stats_.steps;
-      result.output = std::move(run.output);
-      results_.push_back(std::move(result));
+      engine_.sequence(run.seq).phase = SequencePhase::kFinished;
       engine_.release_sequence(run.seq);
+      Running done = std::move(run);
       running_[i] = std::move(running_.back());
       running_.pop_back();
+      finish(std::move(done.pend), std::move(done.output),
+             RequestStatus::kFinished);
     } else {
       ++i;
     }
   }
-  return !running_.empty() || !waiting_.empty();
+  if (!running_.empty() || !waiting_.empty()) return true;
+  // An on_done callback may have submitted (or cancelled) during this
+  // step; that work sits in the inboxes, not waiting_ — without this
+  // check drain()/run_until_idle() would return with it stranded.
+  std::lock_guard<std::mutex> lock(mu_);
+  return !submit_inbox_.empty() || !cancel_inbox_.empty();
 }
 
 std::vector<RequestResult> Scheduler::drain() {
   while (step()) {
   }
   return results_;
+}
+
+void Scheduler::run_until_idle() {
+  while (step()) {
+  }
 }
 
 }  // namespace lserve::serve

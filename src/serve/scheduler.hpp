@@ -1,15 +1,17 @@
 // Request-lifecycle scheduler: chunked-prefill-aware continuous batching
-// with KV-memory admission control and preemption.
+// with KV-memory admission control, preemption, streaming token delivery,
+// cancellation, and deadlines.
 //
 // Requests move through the lifecycle WAITING → PREFILLING → DECODING →
-// FINISHED, with PREEMPTED → WAITING as the memory-pressure back edge.
-// Scheduling is iteration-level (Orca/vLLM style), but prefill chunks are
-// first-class iteration work: each step() packs at most one prefill chunk
-// (cfg.prefill_chunk_tokens of the engine, whole prompt when 0) of the
-// oldest admitting sequence next to the running decode batch, so the TTFT
-// of a long prompt no longer stalls the TPOT of every running sequence —
-// the head-of-line blocking the paper's chunked prefill (§3) exists to
-// avoid.
+// FINISHED, with PREEMPTED → WAITING as the memory-pressure back edge and
+// CANCELLED / DEADLINE_EXCEEDED as early terminal exits reachable from any
+// live phase. Scheduling is iteration-level (Orca/vLLM style), but prefill
+// chunks are first-class iteration work: each step() packs at most one
+// prefill chunk (cfg.prefill_chunk_tokens of the engine, whole prompt when
+// 0) of the oldest admitting sequence next to the running decode batch, so
+// the TTFT of a long prompt no longer stalls the TPOT of every running
+// sequence — the head-of-line blocking the paper's chunked prefill (§3)
+// exists to avoid.
 //
 // Memory: a configurable page budget (across both engine pools) gates
 // admission — a request whose worst-case prompt + max_new_tokens footprint
@@ -22,12 +24,37 @@
 // drain() always completes: a request whose footprint alone exceeds the
 // budget still runs solo (the pool grows on demand), and the last running
 // sequence is never preempted.
+//
+// Streaming & cancellation (the serving front-end surface): each request
+// may carry an on_token callback, invoked as each decode step commits (a
+// preempted-and-replayed request never re-delivers: on_token always sees a
+// strictly growing prefix of the final output), and an on_done callback
+// invoked exactly once with the terminal RequestResult. cancel() is safe
+// in WAITING, PREFILLING and DECODING: pages are reclaimed exactly like
+// preemption, but the request is not re-queued. Deadlines (a
+// SchedulerConfig default plus a per-Request override, measured in
+// scheduler steps since submission) are enforced at step boundaries and
+// terminate with DEADLINE_EXCEEDED.
+//
+// Threading contract: submit(), cancel(), live_requests(), request_stop()
+// and wait_for_work() are thread-safe and may be called from any thread
+// (e.g. a network event loop) while a dedicated scheduler thread loops
+// step()/run_until_idle(). Submissions and cancellations land in inboxes
+// and take effect at the next step boundary, keeping the step itself
+// lock-free. step()/drain()/run_until_idle()/results() must only be
+// called from one thread at a time (the scheduler thread); callbacks fire
+// on that thread with no internal lock held.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -35,26 +62,50 @@
 
 namespace lserve::serve {
 
-/// One inference request.
-struct Request {
-  std::vector<std::int32_t> prompt;
-  std::size_t max_new_tokens = 16;
-  std::uint64_t request_id = 0;
+/// How a request left the scheduler.
+enum class RequestStatus : std::uint8_t {
+  kFinished = 0,          ///< produced max_new_tokens.
+  kCancelled = 1,         ///< cancel() — e.g. client disconnect.
+  kDeadlineExceeded = 2,  ///< deadline hit at a step boundary.
 };
 
-/// A finished request's output and accounting. The step indices are the
+const char* to_string(RequestStatus status) noexcept;
+
+/// A terminated request's output and accounting. The step indices are the
 /// scheduler's iteration counter (SchedulerStats::steps) at the respective
 /// event; benches map them to wall-clock timestamps for TTFT/TPOT without
 /// the scheduler itself touching a clock.
 struct RequestResult {
   std::uint64_t request_id = 0;
+  RequestStatus status = RequestStatus::kFinished;
+  /// Full output for kFinished; the tokens produced (and streamed) before
+  /// termination otherwise — always a prefix of the uninterrupted output.
   std::vector<std::int32_t> output;
   std::size_t prompt_tokens = 0;
   std::size_t decode_steps = 0;
   std::size_t preemptions = 0;       ///< times this request was preempted.
   std::size_t submit_step = 0;       ///< steps completed when submitted.
   std::size_t first_token_step = 0;  ///< step that produced output[0].
-  std::size_t finish_step = 0;       ///< step that completed the request.
+  std::size_t finish_step = 0;       ///< step that terminated the request.
+};
+
+/// One inference request.
+struct Request {
+  std::vector<std::int32_t> prompt;
+  std::size_t max_new_tokens = 16;
+  std::uint64_t request_id = 0;
+  /// Scheduler steps after submission before the request is terminated
+  /// with kDeadlineExceeded (0 = SchedulerConfig::default_deadline_steps;
+  /// both 0 = no deadline). Steps are the scheduler's native clock; a
+  /// wall-clock front-end maps its timeouts to cancel() instead.
+  std::size_t deadline_steps = 0;
+  /// Streamed token delivery, invoked on the scheduler thread as each
+  /// token commits: (request_id, token, index) with index counting from 0.
+  /// Tokens restored after a preemption replay are not re-delivered.
+  std::function<void(std::uint64_t, std::int32_t, std::size_t)> on_token;
+  /// Terminal notification, invoked exactly once on the scheduler thread
+  /// after the result (any status) is recorded.
+  std::function<void(const RequestResult&)> on_done;
 };
 
 /// Scheduler policy knobs.
@@ -71,6 +122,9 @@ struct SchedulerConfig {
   /// Combined (dense + streaming) page budget for admission control and
   /// preemption; 0 = unbounded. Soft — see the header comment.
   std::size_t page_budget = 0;
+  /// Default Request::deadline_steps for requests that don't override it
+  /// (0 = no default deadline).
+  std::size_t default_deadline_steps = 0;
 };
 
 /// Cumulative scheduler telemetry.
@@ -80,6 +134,8 @@ struct SchedulerStats {
   std::size_t preemptions = 0;  ///< sequences released under memory pressure.
   std::size_t deferred_admissions = 0;  ///< step-counted admission stalls.
   std::size_t prefill_chunks = 0;       ///< chunks scheduled (≤ 1 per step).
+  std::size_t cancelled = 0;            ///< requests ended by cancel().
+  std::size_t deadline_exceeded = 0;    ///< requests ended by deadline.
 };
 
 /// FCFS continuous-batching scheduler over one Engine.
@@ -94,12 +150,25 @@ class Scheduler {
   /// Enqueues a request; returns its id (assigned if 0). A user-supplied
   /// id that collides with an in-flight (waiting or running) request is
   /// rejected with std::invalid_argument; auto-assignment never reuses a
-  /// user-supplied id.
+  /// user-supplied id. Thread-safe; the request is picked up at the next
+  /// step boundary.
   std::uint64_t submit(Request req);
 
-  /// One iteration: admit under the page budget, advance at most one
-  /// prefill chunk, preempt if the pool nears the budget, then decode the
-  /// batch and retire finished sequences. Returns true while work remains.
+  /// Requests termination of an in-flight request with the given status
+  /// (kCancelled by default; a wall-clock front-end passes
+  /// kDeadlineExceeded for its own timeouts). Safe in any live phase:
+  /// WAITING requests never start, PREFILLING/DECODING sequences have
+  /// their pages reclaimed exactly like preemption but are not re-queued.
+  /// Thread-safe; takes effect at the next step boundary. Returns false
+  /// if the id is not in flight (unknown or already terminal).
+  bool cancel(std::uint64_t request_id,
+              RequestStatus status = RequestStatus::kCancelled);
+
+  /// One iteration: apply queued submissions/cancellations and deadlines,
+  /// admit under the page budget, advance at most one prefill chunk,
+  /// preempt if the pool nears the budget, then decode the batch, stream
+  /// committed tokens, and retire terminal sequences. Returns true while
+  /// work remains.
   ///
   /// Pool exhaustion against the page budget is handled by preemption and
   /// never poisons the scheduler. Only an engine-level failure (a decode
@@ -110,6 +179,26 @@ class Scheduler {
 
   /// Runs to completion and returns all results in completion order.
   std::vector<RequestResult> drain();
+
+  /// step() until no work remains. The serving-thread idiom:
+  ///
+  ///   while (!sched.stop_requested()) {
+  ///     sched.run_until_idle();
+  ///     sched.wait_for_work(std::chrono::milliseconds(100));
+  ///   }
+  void run_until_idle();
+
+  /// Blocks until a submission/cancellation arrives, request_stop() is
+  /// called, or `timeout` elapses. Returns true iff woken by work (not by
+  /// stop or timeout). Thread-safe.
+  bool wait_for_work(std::chrono::milliseconds timeout);
+
+  /// Wakes wait_for_work() and makes stop_requested() true. Thread-safe.
+  void request_stop();
+  bool stop_requested() const;
+
+  /// Requests submitted but not yet terminal (thread-safe).
+  std::size_t live_requests() const;
 
   std::size_t running() const noexcept { return running_.size(); }
   std::size_t waiting() const noexcept { return waiting_.size(); }
@@ -141,6 +230,7 @@ class Scheduler {
     std::size_t preemptions = 0;
     std::size_t submit_step = 0;
     std::size_t first_token_step = 0;
+    std::size_t delivered = 0;  ///< tokens already handed to on_token.
   };
 
   /// An admitted request bound to an engine sequence.
@@ -153,11 +243,27 @@ class Scheduler {
     std::uint64_t admit_order = 0;
   };
 
-  bool in_flight(std::uint64_t id) const noexcept;
   void admit();
   void advance_prefill();
   void preempt_for_memory();
   void preempt(std::size_t slot);
+  /// Moves queued submissions/cancellations into waiting_/this step's
+  /// cancel list (the only place scheduler state meets the inbox lock).
+  void drain_inboxes(std::vector<std::pair<std::uint64_t, RequestStatus>>&
+                         cancels);
+  void apply_cancellations(
+      const std::vector<std::pair<std::uint64_t, RequestStatus>>& cancels);
+  void enforce_deadlines();
+  std::size_t effective_deadline(const Pending& pend) const noexcept;
+  /// Streams undelivered tokens of one running sequence to on_token.
+  void deliver_tokens(Running& run);
+  /// Records the terminal result of a request and fires on_done. The
+  /// engine sequence (if any) must already be released by the caller.
+  void finish(Pending pend, std::vector<std::int32_t> output,
+              RequestStatus status);
+  /// Terminates running_[slot]: releases its sequence (pages reclaimed
+  /// like preemption, not re-queued) and records the terminal result.
+  void terminate_running(std::size_t slot, RequestStatus status);
 
   Engine& engine_;
   SchedulerConfig cfg_;
@@ -166,9 +272,18 @@ class Scheduler {
   std::vector<Running> running_;
   std::vector<RequestResult> results_;
   SchedulerStats stats_;
-  std::uint64_t next_id_ = 1;
   std::uint64_t admit_counter_ = 0;  ///< preemption priority (newest first).
   bool poisoned_ = false;  ///< a decode batch threw; engine unusable.
+
+  /// Cross-thread surface: submissions/cancellations land here under mu_
+  /// and are spliced into scheduler state at the next step boundary.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Pending> submit_inbox_;
+  std::vector<std::pair<std::uint64_t, RequestStatus>> cancel_inbox_;
+  std::unordered_set<std::uint64_t> live_ids_;  ///< submitted, not terminal.
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
 };
 
 }  // namespace lserve::serve

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "baselines/baseline_engines.hpp"
@@ -455,6 +457,316 @@ TEST(Scheduler, PressuredLifecycleDeterministicAcrossThreads) {
     EXPECT_EQ(parallel.stats.pages_visited, serial.stats.pages_visited);
     EXPECT_EQ(parallel.stats.tokens_visited, serial.stats.tokens_visited);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming delivery, cancellation, and deadlines.
+
+/// Recorder bound to a request's on_token: (token, index) pairs, in order.
+struct TokenLog {
+  std::vector<std::int32_t> tokens;
+  std::vector<std::size_t> indices;
+  void attach(Request& req) {
+    req.on_token = [this](std::uint64_t, std::int32_t token,
+                          std::size_t index) {
+      tokens.push_back(token);
+      indices.push_back(index);
+    };
+  }
+};
+
+TEST(Scheduler, OnTokenStreamsFullOutputInOrder) {
+  Engine engine(cfg());
+  Scheduler sched(engine, 2);
+  Request req = make_request(12, 6);
+  TokenLog log;
+  log.attach(req);
+  std::vector<RequestResult> done;
+  req.on_done = [&](const RequestResult& r) { done.push_back(r); };
+  sched.submit(req);
+  const auto results = sched.drain();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RequestStatus::kFinished);
+  // Every committed token was streamed, in order, before on_done fired.
+  EXPECT_EQ(log.tokens, results[0].output);
+  for (std::size_t i = 0; i < log.indices.size(); ++i) {
+    EXPECT_EQ(log.indices[i], i);
+  }
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].output, results[0].output);
+  EXPECT_EQ(done[0].status, RequestStatus::kFinished);
+}
+
+TEST(Scheduler, OnTokenNeverRedeliversAcrossPreemption) {
+  // The preemption scenario of PreemptionRequeuesAndMatchesUnpreemptedRun,
+  // with streaming attached to the preempted request: the replay restores
+  // output without re-delivering, so the stream is exactly the final
+  // output — no duplicates, no gaps.
+  const Request req_a = make_request(16, 12);
+  Request req_b = make_request(16, 20);
+  req_b.prompt[3] += 1;
+  TokenLog log;
+  log.attach(req_b);
+
+  Engine engine(cfg());
+  SchedulerConfig sc;
+  sc.max_batch = 2;
+  sc.page_budget = 28;
+  Scheduler sched(engine, sc);
+  sched.submit(req_a);
+  const auto id_b = sched.submit(req_b);
+  const auto results = sched.drain();
+
+  const RequestResult& b = by_id(results, id_b);
+  EXPECT_GE(b.preemptions, 1u);
+  EXPECT_EQ(log.tokens, b.output);
+}
+
+TEST(Scheduler, CancelWaitingRequestNeverStarts) {
+  Engine engine(cfg());
+  Scheduler sched(engine, 1);  // max_batch 1: the second request waits.
+  const auto id_a = sched.submit(make_request(16, 8));
+  Request waiting = make_request(16, 8);
+  std::vector<RequestResult> done;
+  waiting.on_done = [&](const RequestResult& r) { done.push_back(r); };
+  const auto id_b = sched.submit(waiting);
+  sched.step();
+  ASSERT_EQ(sched.running(), 1u);
+  ASSERT_EQ(sched.waiting(), 1u);
+
+  const std::size_t created = engine.stats().sequences_created;
+  EXPECT_TRUE(sched.cancel(id_b));
+  const auto results = sched.drain();
+
+  ASSERT_EQ(results.size(), 2u);
+  const RequestResult& b = by_id(results, id_b);
+  EXPECT_EQ(b.status, RequestStatus::kCancelled);
+  EXPECT_TRUE(b.output.empty());
+  EXPECT_EQ(b.first_token_step, 0u);
+  // The cancelled request never touched the engine.
+  EXPECT_EQ(engine.stats().sequences_created, created);
+  EXPECT_EQ(by_id(results, id_a).status, RequestStatus::kFinished);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(sched.scheduler_stats().cancelled, 1u);
+  // Allocator occupancy back to baseline.
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+}
+
+TEST(Scheduler, CancelPrefillingReclaimsAllPages) {
+  EngineConfig chunked = cfg();
+  chunked.prefill_chunk_tokens = 8;
+  Engine engine(chunked);
+  Scheduler sched(engine, 2);
+  const auto id = sched.submit(make_request(64, 8));
+  sched.step();
+  sched.step();  // two 8-token chunks fed: mid-prefill, pages held.
+  EXPECT_GT(engine.total_pages_in_use(), 0u);
+
+  EXPECT_TRUE(sched.cancel(id));
+  sched.step();
+  ASSERT_EQ(sched.results().size(), 1u);
+  EXPECT_EQ(sched.results()[0].status, RequestStatus::kCancelled);
+  EXPECT_TRUE(sched.results()[0].output.empty());
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+  EXPECT_FALSE(sched.step());  // queue fully drained.
+}
+
+TEST(Scheduler, CancelDecodingYieldsPrefixAndReclaimsPages) {
+  // Reference: the uncancelled output.
+  Engine reference_engine(cfg());
+  Scheduler reference(reference_engine, 1);
+  const auto ref_id = reference.submit(make_request(12, 16));
+  const auto full = by_id(reference.drain(), ref_id).output;
+
+  Engine engine(cfg());
+  Scheduler sched(engine, 1);
+  Request req = make_request(12, 16);
+  TokenLog log;
+  log.attach(req);
+  const auto id = sched.submit(req);
+  // 5 steps: step 1 prefills AND decodes (the freshly prefilled sequence
+  // joins that step's decode batch), steps 2-5 decode — 6 tokens held.
+  for (int i = 0; i < 5; ++i) sched.step();
+  EXPECT_GT(engine.total_pages_in_use(), 0u);
+
+  EXPECT_TRUE(sched.cancel(id));
+  sched.step();
+  ASSERT_EQ(sched.results().size(), 1u);
+  const RequestResult& r = sched.results()[0];
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  // The partial output is a strict prefix of the uncancelled run, and
+  // on_token saw exactly that prefix.
+  ASSERT_EQ(r.output.size(), 6u);
+  ASSERT_LT(r.output.size(), full.size());
+  EXPECT_TRUE(std::equal(r.output.begin(), r.output.end(), full.begin()));
+  EXPECT_EQ(log.tokens, r.output);
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+  EXPECT_EQ(engine.dense_allocator().free_pages(),
+            engine.dense_allocator().capacity());
+}
+
+TEST(Scheduler, CancelUnknownOrTerminalRequestReturnsFalse) {
+  Engine engine(cfg());
+  Scheduler sched(engine, 2);
+  EXPECT_FALSE(sched.cancel(42));
+  const auto id = sched.submit(make_request(8, 2));
+  sched.drain();
+  EXPECT_FALSE(sched.cancel(id));  // already terminal.
+  EXPECT_THROW(sched.cancel(id, RequestStatus::kFinished),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, DeadlineDefaultAndPerRequestOverride) {
+  Engine engine(cfg());
+  SchedulerConfig sc;
+  sc.max_batch = 2;
+  sc.default_deadline_steps = 4;
+  Scheduler sched(engine, sc);
+  // A inherits the 4-step default and wants far more tokens than fit.
+  const auto id_a = sched.submit(make_request(8, 64));
+  // B overrides with a deadline comfortably past its own finish.
+  Request fast = make_request(8, 3);
+  fast.deadline_steps = 100;
+  const auto id_b = sched.submit(fast);
+  const auto results = sched.drain();
+
+  ASSERT_EQ(results.size(), 2u);
+  const RequestResult& a = by_id(results, id_a);
+  const RequestResult& b = by_id(results, id_b);
+  EXPECT_EQ(a.status, RequestStatus::kDeadlineExceeded);
+  // Submitted at step 0, enforced at the start of step 5: it got steps
+  // 1..4 of service (step 1 prefills and decodes, then 3 more decode
+  // steps) — a 5-token partial output.
+  EXPECT_EQ(a.output.size(), 5u);
+  EXPECT_EQ(a.finish_step, 5u);
+  EXPECT_EQ(b.status, RequestStatus::kFinished);
+  EXPECT_EQ(b.output.size(), 3u);
+  EXPECT_EQ(sched.scheduler_stats().deadline_exceeded, 1u);
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+}
+
+TEST(Scheduler, DeadlineAppliesWhileWaiting) {
+  // A request that never gets admitted before its deadline still times
+  // out (the deadline clock starts at submission, not admission).
+  Engine engine(cfg());
+  Scheduler sched(engine, 1);
+  const auto id_a = sched.submit(make_request(8, 32));
+  Request starved = make_request(8, 4);
+  starved.deadline_steps = 3;
+  const auto id_b = sched.submit(starved);
+  const auto results = sched.drain();
+
+  const RequestResult& a = by_id(results, id_a);
+  const RequestResult& b = by_id(results, id_b);
+  EXPECT_EQ(a.status, RequestStatus::kFinished);
+  EXPECT_EQ(b.status, RequestStatus::kDeadlineExceeded);
+  EXPECT_TRUE(b.output.empty());
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+}
+
+/// Mixed terminal traffic under memory pressure: cancellations scripted at
+/// fixed steps, deadlines, and preemption all firing in one drain.
+DrainOutcome drain_mixed_at(std::size_t decode_threads) {
+  EngineConfig ec = sparse_cfg();
+  ec.prefill_chunk_tokens = 8;
+  Engine engine(ec);
+  SchedulerConfig sc;
+  sc.max_batch = 4;
+  sc.decode_threads = decode_threads;
+  sc.page_budget = 30;
+  Scheduler sched(engine, sc);
+  const std::size_t prompts[] = {12, 40, 8, 24, 16, 33};
+  const std::size_t budgets[] = {6, 30, 9, 5, 40, 7};
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Request req = make_request(prompts[i], budgets[i]);
+    if (i == 4) req.deadline_steps = 9;  // dies mid-decode.
+    ids.push_back(sched.submit(req));
+  }
+  // Scripted cancellations at fixed step indices keep the run
+  // deterministic at any decode thread count: ids[1] is cancelled
+  // mid-decode (partial output), ids[3] while still waiting.
+  std::size_t steps = 0;
+  bool more = true;
+  while (more) {
+    more = sched.step();
+    ++steps;
+    if (steps == 10) sched.cancel(ids[1]);
+    if (steps == 14) sched.cancel(ids[3]);
+  }
+  DrainOutcome out;
+  out.results = sched.results();
+  out.stats = engine.stats();
+  out.sched_stats = sched.scheduler_stats();
+  // Whatever the terminal mix, every page went back to the pool.
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+  EXPECT_EQ(engine.stats().sequences_created,
+            engine.stats().sequences_released);
+  return out;
+}
+
+TEST(Scheduler, MixedCancelDeadlinePreemptionDrainDeterministicAcrossThreads) {
+  const DrainOutcome serial = drain_mixed_at(1);
+  ASSERT_EQ(serial.results.size(), 6u);
+  // All three terminal mechanisms genuinely fired.
+  EXPECT_EQ(serial.sched_stats.cancelled, 2u);
+  EXPECT_EQ(serial.sched_stats.deadline_exceeded, 1u);
+  EXPECT_GT(serial.sched_stats.preemptions, 0u);
+  std::size_t finished = 0;
+  for (const RequestResult& r : serial.results) {
+    if (r.status == RequestStatus::kFinished) ++finished;
+  }
+  EXPECT_EQ(finished, 3u);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    const DrainOutcome parallel = drain_mixed_at(threads);
+    ASSERT_EQ(parallel.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+      EXPECT_EQ(parallel.results[i].request_id,
+                serial.results[i].request_id);
+      EXPECT_EQ(parallel.results[i].status, serial.results[i].status);
+      EXPECT_EQ(parallel.results[i].output, serial.results[i].output);
+      EXPECT_EQ(parallel.results[i].finish_step,
+                serial.results[i].finish_step);
+    }
+    EXPECT_EQ(parallel.sched_stats.steps, serial.sched_stats.steps);
+    EXPECT_EQ(parallel.sched_stats.cancelled, serial.sched_stats.cancelled);
+    EXPECT_EQ(parallel.sched_stats.deadline_exceeded,
+              serial.sched_stats.deadline_exceeded);
+    EXPECT_EQ(parallel.sched_stats.preemptions,
+              serial.sched_stats.preemptions);
+  }
+}
+
+TEST(Scheduler, CrossThreadSubmitAndCancelWhileServing) {
+  // The serving-thread contract: submit() and cancel() race freely
+  // against a scheduler thread looping run_until_idle()/wait_for_work()
+  // (this is the suite the CI TSan job watches).
+  Engine engine(cfg());
+  Scheduler sched(engine, 4);
+  std::thread server([&] {
+    while (!sched.stop_requested()) {
+      sched.run_until_idle();
+      sched.wait_for_work(std::chrono::milliseconds(5));
+    }
+  });
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(sched.submit(make_request(8 + (i % 3) * 8, 6)));
+    if (i % 4 == 3) sched.cancel(ids[i - 1]);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (sched.live_requests() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sched.request_stop();
+  server.join();
+  EXPECT_EQ(sched.live_requests(), 0u);
+  EXPECT_EQ(sched.results().size(), 16u);
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
 }
 
 }  // namespace
