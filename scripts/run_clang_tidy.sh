@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the project clang-tidy gate (.clang-tidy) over every translation
+# unit in src/, using the compile_commands.json from a CMake build dir.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir]     # default: build
+#
+# Environment:
+#   CLANG_TIDY   override the clang-tidy binary (default: first of
+#                clang-tidy, clang-tidy-18..14 found on PATH)
+#
+# Exit codes: 0 clean, 1 findings, 2 environment problem (no clang-tidy
+# or no compile_commands.json).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy" ] || ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: no clang-tidy binary found (set CLANG_TIDY or" \
+       "install clang-tidy); the gate runs in the clang-analysis CI job" >&2
+  exit 2
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json not found —" \
+       "configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+# Every TU in the library + the serve binary. Tests/benches are covered by
+# -Werror and the contract checker; tidy focuses on the shipped code.
+files=$(cd "$repo_root" && find src -name '*.cpp' | sort)
+
+echo "run_clang_tidy: $($tidy --version | head -n1)"
+echo "run_clang_tidy: checking $(echo "$files" | wc -l) files"
+
+status=0
+for f in $files; do
+  if ! (cd "$repo_root" && "$tidy" -p "$build_dir" --quiet "$f"); then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: findings above (exit 1)" >&2
+fi
+exit "$status"

@@ -14,10 +14,11 @@ PageAllocator::PageAllocator(PageConfig cfg, std::size_t capacity)
   }
   const std::size_t chunks =
       capacity == 0 ? 1 : (capacity + kChunkSize - 1) / kChunkSize;
-  for (std::size_t i = 0; i < chunks; ++i) add_chunk();
+  MutexLock lock(mu_);
+  for (std::size_t i = 0; i < chunks; ++i) add_chunk_locked();
 }
 
-void PageAllocator::add_chunk() {
+void PageAllocator::add_chunk_locked() {
   const std::size_t index = chunk_storage_.size();
   if (index >= kMaxChunks) {
     throw std::length_error("PageAllocator: page pool exhausted");
@@ -37,8 +38,8 @@ void PageAllocator::add_chunk() {
 PageId PageAllocator::allocate() {
   PageId id;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (free_list_.empty()) add_chunk();
+    MutexLock lock(mu_);
+    if (free_list_.empty()) add_chunk_locked();
     id = free_list_.back();
     free_list_.pop_back();
     assert(!live_[id] && "allocating a live page");
@@ -56,20 +57,24 @@ PageId PageAllocator::allocate() {
       page.reset();
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     --in_use_;
     free_list_.push_back(id);
     throw;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     live_[id] = 1;
   }
+  auditor_.on_alloc(id);
   return id;
 }
 
 void PageAllocator::free(PageId id) noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Audit first (own lock): a double-free/foreign-free report fires before
+  // the allocator's state is disturbed.
+  auditor_.on_free(id);
+  MutexLock lock(mu_);
   assert(id < total_slots_);
   assert(live_[id] && "double free of a KV page");
   live_[id] = 0;
@@ -78,27 +83,27 @@ void PageAllocator::free(PageId id) noexcept {
 }
 
 std::size_t PageAllocator::capacity() const noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lock(mu_);
   return total_slots_;
 }
 
 std::size_t PageAllocator::pages_in_use() const noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lock(mu_);
   return in_use_;
 }
 
 std::size_t PageAllocator::peak_pages_in_use() const noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lock(mu_);
   return peak_in_use_;
 }
 
 std::size_t PageAllocator::free_pages() const noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lock(mu_);
   return total_slots_ - in_use_;
 }
 
 double PageAllocator::device_bytes_in_use() const noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lock(mu_);
   double total = 0.0;
   for (std::size_t i = 0; i < total_slots_; ++i) {
     if (live_[i]) total += get(static_cast<PageId>(i)).device_bytes();

@@ -5,21 +5,26 @@
 // stay trivially copyable — the property that makes selector output ("a
 // shorter page table") cheap to build every decode step.
 //
-// Thread safety: allocate()/free() may be called concurrently from the
-// batched decode path, so both are mutex-guarded. get() is lock-free — pages
-// live in fixed-size chunks behind a preallocated directory of atomic
-// pointers, so growing the pool never moves existing Page objects and a
-// Page& stays valid across concurrent allocations. Concurrent access to the
-// *same* page is the caller's problem (a page belongs to one sequence).
+// Thread safety (machine-checked: every guarded field carries GUARDED_BY
+// and builds clean under clang -Wthread-safety, see docs/CONCURRENCY.md):
+// allocate()/free() may be called concurrently from the batched decode
+// path, so both are mutex-guarded. get() is lock-free — pages live in
+// fixed-size chunks behind a preallocated directory of atomic pointers, so
+// growing the pool never moves existing Page objects and a Page& stays
+// valid across concurrent allocations. Concurrent access to the *same*
+// page is the caller's problem (a page belongs to one sequence) — in
+// LSERVE_AUDIT builds the PageAuditor enforces exactly that ownership
+// contract at free() time and attributes leaks at drain.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "kv/page.hpp"
+#include "kv/page_auditor.hpp"
+#include "serve/thread_annotations.hpp"
 
 namespace lserve::kv {
 
@@ -39,7 +44,8 @@ class PageAllocator {
   PageId allocate();
 
   /// Returns a page to the free list. Double-free is a programming error
-  /// (checked in debug builds). Thread-safe.
+  /// (checked in debug builds; checked with owner/site attribution in
+  /// LSERVE_AUDIT builds). Thread-safe.
   void free(PageId id) noexcept;
 
   Page& get(PageId id) noexcept {
@@ -67,6 +73,11 @@ class PageAllocator {
   /// Total device bytes of pages currently in use.
   double device_bytes_in_use() const noexcept;
 
+  /// LSERVE_AUDIT builds: one attribution line per live page (who leaked
+  /// what, allocated where, on which thread). Empty when the pool is
+  /// clean — or when auditing is compiled out.
+  std::string audit_report() const { return auditor_.report_live(); }
+
  private:
   static constexpr std::size_t kChunkShift = 8;
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
@@ -75,19 +86,24 @@ class PageAllocator {
   /// kMaxChunks * kChunkSize pages (8M with the defaults).
   static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;
 
-  /// Appends one chunk of default-constructed pages (mu_ must be held).
-  void add_chunk();
+  /// Appends one chunk of default-constructed pages.
+  void add_chunk_locked() REQUIRES(mu_);
 
   PageConfig cfg_;
   std::unique_ptr<std::atomic<Page*>[]> chunks_;
-  std::vector<std::unique_ptr<Page[]>> chunk_storage_;  // owns the pages.
 
-  mutable std::mutex mu_;
-  std::size_t total_slots_ = 0;       ///< created page slots (all chunks).
-  std::vector<PageId> free_list_;     ///< LIFO; guarded by mu_.
-  std::vector<std::uint8_t> live_;    ///< per-slot liveness; guarded by mu_.
-  std::size_t in_use_ = 0;
-  std::size_t peak_in_use_ = 0;
+  mutable Mutex mu_;
+  /// Owns the pages. Only mutated under mu_ (add_chunk_locked); get()
+  /// never touches it — it goes through the atomic chunk directory.
+  std::vector<std::unique_ptr<Page[]>> chunk_storage_ GUARDED_BY(mu_);
+  std::size_t total_slots_ GUARDED_BY(mu_) = 0;  ///< created page slots.
+  std::vector<PageId> free_list_ GUARDED_BY(mu_);  ///< LIFO.
+  std::vector<std::uint8_t> live_ GUARDED_BY(mu_);  ///< per-slot liveness.
+  std::size_t in_use_ GUARDED_BY(mu_) = 0;
+  std::size_t peak_in_use_ GUARDED_BY(mu_) = 0;
+  /// Empty (and storage-free) unless LSERVE_AUDIT is on; has its own
+  /// internal lock, so it is deliberately called outside mu_.
+  [[no_unique_address]] PageAuditor auditor_;
 };
 
 }  // namespace lserve::kv

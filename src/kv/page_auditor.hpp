@@ -1,0 +1,151 @@
+// Debug-build page-ownership auditor (the runtime cross-check the static
+// analysis layers cannot express).
+//
+// Compiled in only when the LSERVE_AUDIT CMake option defines
+// LSERVE_AUDIT=1. The auditor tags every allocated page with
+//
+//   - the owning sequence id (from the innermost PageAuditScope on the
+//     allocating thread — engine entry points scope every prefill /
+//     decode / release region),
+//   - the allocation site (a static string, e.g. "Engine::decode"),
+//   - the allocating thread,
+//
+// and checks, at PageAllocator::free():
+//
+//   - double-free: freeing a page that is not live;
+//   - foreign free: freeing a page whose recorded owner differs from the
+//     current scope's owner. Ownership is per *sequence*, not per thread:
+//     a page legally migrates threads (allocated on a pool worker mid
+//     decode, freed on the scheduler thread at release), but it must
+//     never be released on behalf of a different sequence. The report
+//     still prints both thread ids for forensics.
+//
+// Violations print an attribution report to stderr and abort() — precise
+// enough for EXPECT_DEATH tests and loud enough for CI.
+//
+// Leaks are checked at quiescence points (Scheduler::drain): any page
+// still live is reported with owner/site/thread attribution via
+// report_live(), turning "the pool grew" into "sequence 7 leaked 3 pages
+// allocated at Engine::prefill on thread 140213...".
+//
+// Zero-overhead guarantee when OFF: PageAuditor and PageAuditScope are
+// empty types with inline no-op methods, and PageAllocator holds its
+// auditor as a [[no_unique_address]] member — the struct layout and the
+// allocate()/free() hot paths are exactly the pre-auditor ones
+// (tests/audit_test.cpp pins this with static_asserts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kv/page.hpp"
+
+#if defined(LSERVE_AUDIT) && LSERVE_AUDIT
+#define LSERVE_AUDIT_ENABLED 1
+#else
+#define LSERVE_AUDIT_ENABLED 0
+#endif
+
+#if LSERVE_AUDIT_ENABLED
+#include <unordered_map>
+
+#include "serve/thread_annotations.hpp"
+#endif
+
+namespace lserve::kv {
+
+/// True when the auditor is compiled in (the LSERVE_AUDIT build option).
+inline constexpr bool kAuditEnabled = LSERVE_AUDIT_ENABLED == 1;
+
+/// Owner value recorded when no PageAuditScope is active (direct
+/// allocator use in tests/benches).
+inline constexpr std::uint64_t kAuditNoOwner = ~std::uint64_t{0};
+
+#if LSERVE_AUDIT_ENABLED
+
+/// RAII: tags every page allocated/freed by this thread inside the scope
+/// with an owner (sequence) id and a site string. Nests; the innermost
+/// scope wins.
+class PageAuditScope {
+ public:
+  PageAuditScope(std::uint64_t owner, const char* site) noexcept;
+  ~PageAuditScope() noexcept;
+
+  PageAuditScope(const PageAuditScope&) = delete;
+  PageAuditScope& operator=(const PageAuditScope&) = delete;
+
+  /// The calling thread's innermost scope (owner = kAuditNoOwner, site =
+  /// "(unscoped)" when none is active).
+  static std::uint64_t current_owner() noexcept;
+  static const char* current_site() noexcept;
+
+ private:
+  std::uint64_t prev_owner_;
+  const char* prev_site_;
+};
+
+/// Per-allocator audit state. Thread-safe (called from the same threads
+/// as allocate()/free()); keeps its own records so it never depends on
+/// the allocator's internals being coherent at check time.
+class PageAuditor {
+ public:
+  /// Records the allocation under the calling thread's audit scope.
+  void on_alloc(PageId id);
+  /// Verifies live + same-owner, then records the free. Prints an
+  /// attribution report and abort()s on double-free or foreign free.
+  void on_free(PageId id) noexcept;
+
+  /// One "page <id>: owner seq <o>, allocated at <site> on thread <t>"
+  /// line per live page (empty string when nothing is live). The
+  /// who-leaked-what report for quiescence points that expect an empty
+  /// pool.
+  std::string report_live() const;
+
+  /// Live (allocated, not yet freed) pages tracked by the auditor.
+  std::size_t live_pages() const;
+
+ private:
+  struct Record {
+    std::uint64_t owner = kAuditNoOwner;
+    const char* site = "(unscoped)";
+    std::uint64_t thread_id = 0;
+    bool live = false;
+    /// Last-free attribution, kept for double-free reports.
+    std::uint64_t free_owner = kAuditNoOwner;
+    const char* free_site = "(never freed)";
+    std::uint64_t free_thread_id = 0;
+  };
+
+  [[noreturn]] void die_locked(const char* what, PageId id) const
+      REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::unordered_map<PageId, Record> records_ GUARDED_BY(mu_);
+  std::size_t live_ GUARDED_BY(mu_) = 0;
+};
+
+#else  // !LSERVE_AUDIT_ENABLED
+
+/// No-op stand-ins: empty types, inline empty bodies. The compiler erases
+/// every trace of them (tests/audit_test.cpp static_asserts emptiness).
+class PageAuditScope {
+ public:
+  PageAuditScope(std::uint64_t /*owner*/, const char* /*site*/) noexcept {}
+  PageAuditScope(const PageAuditScope&) = delete;
+  PageAuditScope& operator=(const PageAuditScope&) = delete;
+
+  static std::uint64_t current_owner() noexcept { return kAuditNoOwner; }
+  static const char* current_site() noexcept { return "(audit off)"; }
+};
+
+class PageAuditor {
+ public:
+  void on_alloc(PageId /*id*/) noexcept {}
+  void on_free(PageId /*id*/) noexcept {}
+  std::string report_live() const { return std::string(); }
+  std::size_t live_pages() const { return 0; }
+};
+
+#endif  // LSERVE_AUDIT_ENABLED
+
+}  // namespace lserve::kv

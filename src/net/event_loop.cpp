@@ -44,29 +44,40 @@ void EventLoop::set_interest(int fd, std::uint32_t interest) {
 
 void EventLoop::remove(int fd) { fds_.erase(fd); }
 
+void EventLoop::wake() {
+  // Retry on EINTR: a signal landing between the task enqueue and the
+  // pipe write used to drop the wakeup byte entirely, leaving the posted
+  // task (or a stop()) stranded until the next poll timeout or io event —
+  // the classic missed-signal bug, surfaced while annotating this file
+  // (the old inline write was [[maybe_unused]]-ignored). EAGAIN needs no
+  // retry: a full pipe already guarantees a pending wakeup.
+  const char byte = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_write_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
+}
+
 void EventLoop::post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
-  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  wake();
 }
 
 void EventLoop::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  wake();
 }
 
 void EventLoop::drain_tasks() {
   std::vector<Task> tasks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks.swap(tasks_);
   }
   for (Task& task : tasks) task();
@@ -78,7 +89,7 @@ void EventLoop::run() {
   std::vector<std::pair<int, std::uint64_t>> order;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stop_) {
         stop_ = false;  // re-runnable (tests start/stop the same loop).
         return;
@@ -105,9 +116,14 @@ void EventLoop::run() {
     }
 
     if (pfds[0].revents != 0) {
+      // Drain every pending wakeup byte; retry EINTR so an interrupted
+      // read cannot leave stale bytes that turn every later poll() into
+      // a busy spin.
       char buf[256];
-      while (::read(wake_read_, buf, sizeof(buf)) > 0) {
-      }
+      ssize_t n;
+      do {
+        n = ::read(wake_read_, buf, sizeof(buf));
+      } while (n > 0 || (n < 0 && errno == EINTR));
     }
     for (std::size_t i = 1; i < pfds.size(); ++i) {
       if (pfds[i].revents == 0) continue;

@@ -15,9 +15,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "serve/thread_annotations.hpp"
 
 namespace lserve::net {
 
@@ -54,16 +55,20 @@ class EventLoop {
 
   /// Enqueues `task` to run on the loop thread and wakes the loop.
   /// Thread-safe; the only cross-thread entry point besides stop().
-  void post(Task task);
+  void post(Task task) EXCLUDES(mu_);
 
   /// Dispatches events until stop(). Tasks posted before run() execute on
   /// the first iteration.
-  void run();
+  void run() EXCLUDES(mu_);
   /// Makes run() return after the current iteration. Thread-safe.
-  void stop();
+  void stop() EXCLUDES(mu_);
 
  private:
-  void drain_tasks();
+  void drain_tasks() EXCLUDES(mu_);
+  /// Writes one byte to the wakeup pipe, retrying on EINTR — an
+  /// interrupted write is a silently missed wakeup otherwise. EAGAIN is
+  /// fine: a full pipe already guarantees a pending wakeup.
+  void wake();
 
   struct Entry {
     std::uint32_t interest = 0;
@@ -73,14 +78,18 @@ class EventLoop {
     /// stale poll results must not be delivered to the new registration.
     std::uint64_t gen = 0;
   };
+  /// Loop-thread-only state (registration API is loop-thread only by
+  /// contract — see the header comment — so none of this is guarded).
   std::unordered_map<int, Entry> fds_;
   std::uint64_t next_gen_ = 1;
   int wake_read_ = -1;
   int wake_write_ = -1;
 
-  std::mutex mu_;  ///< guards tasks_ and stop_.
-  std::vector<Task> tasks_;
-  bool stop_ = false;
+  /// Cross-thread surface; mu_ is a leaf lock (never held while a task
+  /// or handler runs, never held across a write to the wakeup pipe).
+  Mutex mu_;
+  std::vector<Task> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lserve::net

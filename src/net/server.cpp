@@ -127,7 +127,10 @@ void HttpServer::stop() {
 void HttpServer::on_accept() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN (or transient error): nothing queued.
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // interrupted, not drained — retry.
+      return;  // EAGAIN (or transient error): nothing queued.
+    }
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

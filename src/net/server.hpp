@@ -105,11 +105,22 @@ class HttpServer {
                   std::size_t index);
   void post_done(const serve::RequestResult& result);
 
+  // Thread ownership (the server itself holds no lock; every field below
+  // is single-writer — machine-checkable pieces live in EventLoop and
+  // Scheduler, whose cross-thread surfaces are GUARDED_BY-annotated):
+  //   - loop-thread state: conns_, streams_ (and all Connection objects);
+  //   - control-thread state (start()/stop() caller): listen_fd_, port_,
+  //     the two std::thread handles, started_;
+  //   - cross-thread: the two atomics, plus everything reached through
+  //     sched_ (inbox-locked) and loop_ (task-queue-locked).
   serve::Scheduler& sched_;
   ServerConfig cfg_;
   EventLoop loop_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  // The server owns the process's two serving threads; raw std::thread
+  // use outside thread_pool/event_loop is restricted to this file by
+  // scripts/check_contract.py.
   std::thread loop_thread_;
   std::thread sched_thread_;
   bool started_ = false;

@@ -64,7 +64,8 @@ struct ConstMatView {
   ConstMatView(const float* d, std::size_t r, std::size_t c,
                std::size_t s) noexcept
       : data(d), rows(r), cols(c), stride(s) {}
-  ConstMatView(const MatView& m) noexcept  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like T* -> const T*
+  ConstMatView(const MatView& m) noexcept
       : data(m.data), rows(m.rows), cols(m.cols), stride(m.stride) {}
 
   const float* row(std::size_t r) const noexcept {

@@ -141,6 +141,7 @@ SequenceId Engine::create_sequence() {
 void Engine::release_sequence(SequenceId id) {
   ++stats_.sequences_released;
   assert(id < sequences_.size() && sequences_[id] != nullptr);
+  const kv::PageAuditScope audit(id, "Engine::release_sequence");
   sequences_[id]->cache.release(dense_alloc_, stream_alloc_);
   sequences_[id].reset();
 }
@@ -264,6 +265,7 @@ std::size_t Engine::prefill_chunk(SequenceId id,
   Sequence& seq = *sequences_[id];
   assert(seq.phase == SequencePhase::kPrefilling);
   assert(!ids.empty() && ids.size() <= seq.prefill_remaining);
+  const kv::PageAuditScope audit(id, "Engine::prefill_chunk");
   num::Tensor hidden = tf_.embed(ids);
   forward_prefill(seq, hidden, seq.position);
   seq.position += ids.size();
@@ -318,6 +320,9 @@ std::vector<std::int32_t> Engine::decode_batch(
   std::vector<std::int32_t> next(ids.size(), -1);
   std::vector<attn::DecodeWorkStats> work(ids.size());
   const auto run = [&](std::size_t i) {
+    // The audit scope is per-sequence and thread-local, so it tags pages
+    // correctly whether this lambda runs inline or on a pool worker.
+    const kv::PageAuditScope audit(ids[i], "Engine::decode");
     next[i] = decode_one(*sequences_[ids[i]], tokens[i], work[i]);
   };
   if (pool != nullptr && pool->size() > 1 && ids.size() > 1) {

@@ -157,6 +157,13 @@ class Engine {
   /// Device bytes currently held by KV pages (memory-saving accounting).
   double kv_device_bytes() const noexcept;
 
+  /// LSERVE_AUDIT builds: per-page leak attribution across both pools
+  /// (see kv/page_auditor.hpp). Empty when clean or when auditing is
+  /// compiled out.
+  std::string audit_report() const {
+    return dense_alloc_.audit_report() + stream_alloc_.audit_report();
+  }
+
   /// Pages currently held across both pools (admission-control occupancy).
   std::size_t total_pages_in_use() const noexcept;
 

@@ -5,6 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#if LSERVE_AUDIT_ENABLED
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 namespace lserve::serve {
 
 const char* to_string(RequestStatus status) noexcept {
@@ -25,6 +30,9 @@ Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
   if (cfg_.decode_threads != 1) {
     pool_ = std::make_unique<ThreadPool>(cfg_.decode_threads);
   }
+#if LSERVE_AUDIT_ENABLED
+  audit_baseline_pages_ = engine_.total_pages_in_use();
+#endif
 }
 
 Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
@@ -40,7 +48,7 @@ std::uint64_t Scheduler::submit(Request req) {
   }
   std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (req.request_id == 0) {
       req.request_id = next_id_++;
     } else {
@@ -68,7 +76,7 @@ bool Scheduler::cancel(std::uint64_t request_id, RequestStatus status) {
         "Scheduler::cancel: kFinished is not a cancellation status");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (live_ids_.count(request_id) == 0) return false;
     cancel_inbox_.emplace_back(request_id, status);
   }
@@ -78,33 +86,38 @@ bool Scheduler::cancel(std::uint64_t request_id, RequestStatus status) {
 
 void Scheduler::request_stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
 }
 
 bool Scheduler::stop_requested() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stop_;
 }
 
 std::size_t Scheduler::live_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return live_ids_.size();
 }
 
 bool Scheduler::wait_for_work(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait_for(lock, timeout, [&] {
-    return stop_ || !submit_inbox_.empty() || !cancel_inbox_.empty();
-  });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  // Explicit condition loop (not a predicate overload) so the analyzer
+  // sees every guarded read under the lock; see thread_annotations.hpp.
+  while (!stop_ && submit_inbox_.empty() && cancel_inbox_.empty()) {
+    if (work_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
   return !stop_ && (!submit_inbox_.empty() || !cancel_inbox_.empty());
 }
 
 void Scheduler::drain_inboxes(
     std::vector<std::pair<std::uint64_t, RequestStatus>>& cancels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!submit_inbox_.empty()) {
     Pending pend = std::move(submit_inbox_.front());
     submit_inbox_.pop_front();
@@ -165,7 +178,7 @@ void Scheduler::finish(Pending pend, std::vector<std::int32_t> output,
   // watches live_requests() reach zero (e.g. HttpServer::stop) knows
   // every terminal callback has already run. A collision re-submit of
   // the same id is therefore still rejected from inside its own on_done.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   live_ids_.erase(id);
 }
 
@@ -401,7 +414,7 @@ bool Scheduler::step() {
     assert(waiting_.empty() && "admit() always admits when nothing runs");
     // An on_done fired by the cancellation/deadline handling above may
     // have submitted new work; it sits in the inbox until the next step.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return !submit_inbox_.empty() || !cancel_inbox_.empty();
   }
   advance_prefill();
@@ -464,13 +477,27 @@ bool Scheduler::step() {
   // An on_done callback may have submitted (or cancelled) during this
   // step; that work sits in the inboxes, not waiting_ — without this
   // check drain()/run_until_idle() would return with it stranded.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !submit_inbox_.empty() || !cancel_inbox_.empty();
 }
 
 std::vector<RequestResult> Scheduler::drain() {
   while (step()) {
   }
+#if LSERVE_AUDIT_ENABLED
+  // Quiescence check the static layers cannot express: every page
+  // admitted since construction must be back in the pool. On a leak the
+  // auditor names the owning sequence, allocation site and thread.
+  if (engine_.total_pages_in_use() != audit_baseline_pages_) {
+    const std::string report = engine_.audit_report();
+    std::fprintf(stderr,
+                 "[lserve page audit] scheduler drained but %zu pages are "
+                 "still in use (baseline %zu); live pages:\n%s",
+                 engine_.total_pages_in_use(), audit_baseline_pages_,
+                 report.c_str());
+    std::abort();
+  }
+#endif
   return results_;
 }
 

@@ -36,28 +36,31 @@
 // scheduler steps since submission) are enforced at step boundaries and
 // terminate with DEADLINE_EXCEEDED.
 //
-// Threading contract: submit(), cancel(), live_requests(), request_stop()
-// and wait_for_work() are thread-safe and may be called from any thread
-// (e.g. a network event loop) while a dedicated scheduler thread loops
-// step()/run_until_idle(). Submissions and cancellations land in inboxes
-// and take effect at the next step boundary, keeping the step itself
-// lock-free. step()/drain()/run_until_idle()/results() must only be
-// called from one thread at a time (the scheduler thread); callbacks fire
-// on that thread with no internal lock held.
+// Threading contract (machine-checked: the cross-thread surface is
+// GUARDED_BY(mu_) and builds clean under clang -Wthread-safety; see
+// docs/CONCURRENCY.md): submit(), cancel(), live_requests(),
+// request_stop() and wait_for_work() are thread-safe and may be called
+// from any thread (e.g. a network event loop) while a dedicated scheduler
+// thread loops step()/run_until_idle(). Submissions and cancellations
+// land in inboxes and take effect at the next step boundary, keeping the
+// step itself lock-free. step()/drain()/run_until_idle()/results() must
+// only be called from one thread at a time (the scheduler thread);
+// callbacks fire on that thread with no internal lock held — mu_ is a
+// leaf lock, so an on_token/on_done body may freely call submit()/
+// cancel() or take its own locks without inverting any order.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/thread_annotations.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace lserve::serve {
@@ -152,7 +155,7 @@ class Scheduler {
   /// rejected with std::invalid_argument; auto-assignment never reuses a
   /// user-supplied id. Thread-safe; the request is picked up at the next
   /// step boundary.
-  std::uint64_t submit(Request req);
+  std::uint64_t submit(Request req) EXCLUDES(mu_);
 
   /// Requests termination of an in-flight request with the given status
   /// (kCancelled by default; a wall-clock front-end passes
@@ -162,7 +165,8 @@ class Scheduler {
   /// Thread-safe; takes effect at the next step boundary. Returns false
   /// if the id is not in flight (unknown or already terminal).
   bool cancel(std::uint64_t request_id,
-              RequestStatus status = RequestStatus::kCancelled);
+              RequestStatus status = RequestStatus::kCancelled)
+      EXCLUDES(mu_);
 
   /// One iteration: apply queued submissions/cancellations and deadlines,
   /// admit under the page budget, advance at most one prefill chunk,
@@ -191,14 +195,14 @@ class Scheduler {
   /// Blocks until a submission/cancellation arrives, request_stop() is
   /// called, or `timeout` elapses. Returns true iff woken by work (not by
   /// stop or timeout). Thread-safe.
-  bool wait_for_work(std::chrono::milliseconds timeout);
+  bool wait_for_work(std::chrono::milliseconds timeout) EXCLUDES(mu_);
 
   /// Wakes wait_for_work() and makes stop_requested() true. Thread-safe.
-  void request_stop();
-  bool stop_requested() const;
+  void request_stop() EXCLUDES(mu_);
+  bool stop_requested() const EXCLUDES(mu_);
 
   /// Requests submitted but not yet terminal (thread-safe).
-  std::size_t live_requests() const;
+  std::size_t live_requests() const EXCLUDES(mu_);
 
   std::size_t running() const noexcept { return running_.size(); }
   std::size_t waiting() const noexcept { return waiting_.size(); }
@@ -250,7 +254,7 @@ class Scheduler {
   /// Moves queued submissions/cancellations into waiting_/this step's
   /// cancel list (the only place scheduler state meets the inbox lock).
   void drain_inboxes(std::vector<std::pair<std::uint64_t, RequestStatus>>&
-                         cancels);
+                         cancels) EXCLUDES(mu_);
   void apply_cancellations(
       const std::vector<std::pair<std::uint64_t, RequestStatus>>& cancels);
   void enforce_deadlines();
@@ -260,7 +264,7 @@ class Scheduler {
   /// Records the terminal result of a request and fires on_done. The
   /// engine sequence (if any) must already be released by the caller.
   void finish(Pending pend, std::vector<std::int32_t> output,
-              RequestStatus status);
+              RequestStatus status) EXCLUDES(mu_);
   /// Terminates running_[slot]: releases its sequence (pages reclaimed
   /// like preemption, not re-queued) and records the terminal result.
   void terminate_running(std::size_t slot, RequestStatus status);
@@ -274,16 +278,24 @@ class Scheduler {
   SchedulerStats stats_;
   std::uint64_t admit_counter_ = 0;  ///< preemption priority (newest first).
   bool poisoned_ = false;  ///< a decode batch threw; engine unusable.
+#if LSERVE_AUDIT_ENABLED
+  /// Engine pool occupancy at construction; drain() aborts with the
+  /// auditor's who-leaked-what report if it does not return to this.
+  std::size_t audit_baseline_pages_ = 0;
+#endif
 
   /// Cross-thread surface: submissions/cancellations land here under mu_
   /// and are spliced into scheduler state at the next step boundary.
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Pending> submit_inbox_;
-  std::vector<std::pair<std::uint64_t, RequestStatus>> cancel_inbox_;
-  std::unordered_set<std::uint64_t> live_ids_;  ///< submitted, not terminal.
-  std::uint64_t next_id_ = 1;
-  bool stop_ = false;
+  /// mu_ is a leaf lock: nothing else is acquired while it is held.
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<Pending> submit_inbox_ GUARDED_BY(mu_);
+  std::vector<std::pair<std::uint64_t, RequestStatus>> cancel_inbox_
+      GUARDED_BY(mu_);
+  /// Submitted, not terminal.
+  std::unordered_set<std::uint64_t> live_ids_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lserve::serve

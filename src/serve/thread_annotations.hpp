@@ -1,0 +1,160 @@
+// Clang Thread Safety Analysis annotations + the annotated locking
+// primitives the rest of the tree must use.
+//
+// Two layers:
+//
+//   1. The attribute macros (CAPABILITY, GUARDED_BY, REQUIRES, ACQUIRE,
+//      RELEASE, EXCLUDES, ...). Under clang they expand to
+//      __attribute__((...)) and feed -Wthread-safety; under every other
+//      compiler they expand to nothing, so gcc builds are byte-identical
+//      with or without them.
+//
+//   2. Annotated wrappers — Mutex, MutexLock, CondVar — around the
+//      std:: primitives. libstdc++'s std::mutex carries no capability
+//      attributes, so GUARDED_BY(some_std_mutex) is rejected by the
+//      analyzer; the wrappers are what makes the analysis actually run.
+//      They are zero-cost: every member is the std:: primitive and every
+//      method is an inline forward.
+//
+// Conventions (enforced by scripts/check_contract.py, documented in
+// docs/CONCURRENCY.md):
+//   - library code declares lserve::Mutex members, never bare std::mutex;
+//   - every Mutex member guards at least one GUARDED_BY field;
+//   - locking is RAII-only: MutexLock scopes, no bare .lock()/.unlock()
+//     outside this header;
+//   - private helpers that expect the lock held are suffixed _locked and
+//     annotated REQUIRES(mu).
+//
+// Build with -DLSERVE_THREAD_SAFETY=ON under clang to turn analysis
+// violations into compile errors (-Wthread-safety -Wthread-safety-beta
+// -Werror).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LSERVE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LSERVE_THREAD_ANNOTATION_(x)  // no-op off clang.
+#endif
+
+// A type that represents a lock (a "capability" in analysis terms).
+#define CAPABILITY(x) LSERVE_THREAD_ANNOTATION_(capability(x))
+// A RAII type that acquires a capability at construction and releases it
+// at destruction.
+#define SCOPED_CAPABILITY LSERVE_THREAD_ANNOTATION_(scoped_lockable)
+// Data member readable/writable only with the given capability held.
+#define GUARDED_BY(x) LSERVE_THREAD_ANNOTATION_(guarded_by(x))
+// Pointer member whose pointee is protected by the given capability.
+#define PT_GUARDED_BY(x) LSERVE_THREAD_ANNOTATION_(pt_guarded_by(x))
+// Lock-ordering declarations (deadlock detection under -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  LSERVE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  LSERVE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+// Function requires the capability held on entry (and does not release it).
+#define REQUIRES(...) \
+  LSERVE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  LSERVE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+// Function acquires/releases the capability.
+#define ACQUIRE(...) \
+  LSERVE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  LSERVE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  LSERVE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  LSERVE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  LSERVE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+// Function must NOT be called with the capability held (self-deadlock guard).
+#define EXCLUDES(...) LSERVE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Runtime assertion that the capability is held.
+#define ASSERT_CAPABILITY(x) \
+  LSERVE_THREAD_ANNOTATION_(assert_capability(x))
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) LSERVE_THREAD_ANNOTATION_(lock_returned(x))
+// Escape hatch; every use needs a justification comment, the same
+// rule scripts/check_contract.py applies to lint suppressions.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LSERVE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace lserve {
+
+class CondVar;
+
+/// Annotated std::mutex. Lock/unlock are exposed only to MutexLock and
+/// CondVar — library code must hold it through a MutexLock scope.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+  std::mutex mu_;
+};
+
+/// RAII lock scope over a Mutex (the only sanctioned way to hold one).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over lserve::Mutex. No predicate overloads on
+/// purpose: the analyzer cannot see into a predicate functor invoked by
+/// the wait, so call sites spell the standard
+///
+///   MutexLock lock(mu_);
+///   while (!condition) cv_.wait(mu_);
+///
+/// loop, which keeps every guarded read inside the annotated scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; re-acquires before returning.
+  /// Spurious wakeups happen — always wait in a condition loop.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's MutexLock keeps ownership.
+  }
+
+  /// wait() with a deadline; returns std::cv_status::timeout if it passed.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lserve

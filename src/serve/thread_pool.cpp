@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
     // Thread creation failed partway: shut down and join the workers that
     // did start, then rethrow, so ~vector never sees a joinable thread.
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
     work_cv_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -41,7 +41,7 @@ void ThreadPool::run_indices() {
     std::size_t i;
     const std::function<void(std::size_t)>* fn;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       if (next_index_ >= job_n_ || first_error_ != nullptr) return;
       i = next_index_++;
       fn = job_fn_;
@@ -49,7 +49,7 @@ void ThreadPool::run_indices() {
     try {
       (*fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       if (first_error_ == nullptr) first_error_ = std::current_exception();
     }
   }
@@ -60,9 +60,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     bool enlisted = false;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk,
-                    [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && job_epoch_ == seen_epoch) work_cv_.wait(mu_);
       if (shutdown_) return;
       seen_epoch = job_epoch_;
       // Claim an enlistment slot only while there is claimable work left:
@@ -78,7 +77,7 @@ void ThreadPool::worker_loop() {
     if (!enlisted) continue;
     run_indices();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       if (--active_workers_ == 0) done_cv_.notify_one();
     }
   }
@@ -92,7 +91,7 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     job_fn_ = &fn;
     job_n_ = n;
     next_index_ = 0;
@@ -105,20 +104,20 @@ void ThreadPool::parallel_for(std::size_t n,
   run_indices();  // the caller is one of the pool's threads.
   // The job is over once no worker is mid-run AND no late-waking worker
   // can still claim a slot (indices drained, error set, or slots gone).
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] {
-    return active_workers_ == 0 &&
-           (worker_slots_ == 0 || next_index_ >= job_n_ ||
-            first_error_ != nullptr);
-  });
-  worker_slots_ = 0;  // stale wake-ups after the join must not claim.
-  job_fn_ = nullptr;
-  if (first_error_ != nullptr) {
-    std::exception_ptr err = first_error_;
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    while (active_workers_ != 0 ||
+           (worker_slots_ != 0 && next_index_ < job_n_ &&
+            first_error_ == nullptr)) {
+      done_cv_.wait(mu_);
+    }
+    worker_slots_ = 0;  // stale wake-ups after the join must not claim.
+    job_fn_ = nullptr;
+    err = first_error_;
     first_error_ = nullptr;
-    lk.unlock();
-    std::rethrow_exception(err);
   }
+  if (err != nullptr) std::rethrow_exception(err);
 }
 
 }  // namespace lserve::serve

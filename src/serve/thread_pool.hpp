@@ -10,16 +10,21 @@
 // never how often or with what argument. Callers that keep fn(i) free of
 // cross-index writes (per-sequence state, per-call stats merged after the
 // join) therefore get bit-identical results at any pool size.
+//
+// Lock discipline (machine-checked under clang -Wthread-safety): every
+// shared field is GUARDED_BY(mu_); fn itself always runs with mu_
+// released. mu_ is a leaf lock — no other lock is ever acquired while it
+// is held (docs/CONCURRENCY.md has the full hierarchy).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "serve/thread_annotations.hpp"
 
 namespace lserve::serve {
 
@@ -41,25 +46,28 @@ class ThreadPool {
   /// blocks until all calls return. The first exception thrown by any
   /// fn(i) is rethrown on the calling thread after the join.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mu_);
 
  private:
-  void worker_loop();
-  void run_indices();
+  void worker_loop() EXCLUDES(mu_);
+  void run_indices() EXCLUDES(mu_);
 
+  /// Written only at construction, joined at destruction; never touched
+  /// by the workers themselves.
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers wait for a new job.
-  std::condition_variable done_cv_;   ///< caller waits for the join.
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::size_t next_index_ = 0;        ///< next unclaimed i (guarded by mu_).
-  std::size_t active_workers_ = 0;    ///< workers mid-run (claimed a slot).
-  std::size_t worker_slots_ = 0;      ///< unclaimed enlistment slots.
-  std::uint64_t job_epoch_ = 0;       ///< bumped per parallel_for call.
-  std::exception_ptr first_error_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers wait for a new job.
+  CondVar done_cv_;  ///< caller waits for the join.
+  const std::function<void(std::size_t)>* job_fn_ GUARDED_BY(mu_) = nullptr;
+  std::size_t job_n_ GUARDED_BY(mu_) = 0;
+  std::size_t next_index_ GUARDED_BY(mu_) = 0;  ///< next unclaimed i.
+  std::size_t active_workers_ GUARDED_BY(mu_) = 0;  ///< workers mid-run.
+  std::size_t worker_slots_ GUARDED_BY(mu_) = 0;  ///< unclaimed slots.
+  std::uint64_t job_epoch_ GUARDED_BY(mu_) = 0;  ///< per parallel_for call.
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lserve::serve
