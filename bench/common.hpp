@@ -9,14 +9,88 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "costmodel/pipeline_cost.hpp"
+#include "numeric/rng.hpp"
 
 namespace lserve::bench {
+
+// ---------------------------------------------------------------------------
+// Shared-prefix chat workload
+//
+// Deterministic multi-turn conversations for prefix-cache experiments: every
+// user shares one system prompt, and each turn's prompt is the full history
+// (previous prompt + the engine's actual reply) plus fresh user tokens. The
+// same seed therefore reproduces the same token streams in every process,
+// which is what lets a bench assert bit-identical outputs cache-on vs
+// cache-off. Used by bench/serving_prefix_reuse and examples/multi_turn_chat.
+// ---------------------------------------------------------------------------
+
+struct ChatWorkloadConfig {
+  std::size_t users = 4;             ///< concurrent conversations
+  std::size_t turns_per_user = 3;    ///< chat rounds per conversation
+  std::size_t system_prompt_tokens = 128;  ///< shared across ALL users
+  std::size_t turn_prompt_tokens = 32;     ///< fresh user tokens per turn
+  std::size_t reply_tokens = 8;      ///< max_new_tokens per turn
+  std::uint64_t seed = 0x5EED;
+  std::int32_t vocab = 32000;
+};
+
+/// The system prompt every conversation opens with (stream 0 of `seed`).
+inline std::vector<std::int32_t> chat_system_prompt(
+    const ChatWorkloadConfig& cfg) {
+  num::Rng rng(num::split_seed(cfg.seed, 0));
+  std::vector<std::int32_t> out(cfg.system_prompt_tokens);
+  for (auto& t : out) {
+    t = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.vocab)));
+  }
+  return out;
+}
+
+/// Fresh user tokens for (user, turn) — an independent stream per pair so
+/// conversations diverge after the shared system prompt.
+inline std::vector<std::int32_t> chat_turn_tokens(const ChatWorkloadConfig& cfg,
+                                                  std::size_t user,
+                                                  std::size_t turn) {
+  num::Rng rng(num::split_seed(cfg.seed, 1 + user * cfg.turns_per_user + turn));
+  std::vector<std::int32_t> out(cfg.turn_prompt_tokens);
+  for (auto& t : out) {
+    t = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.vocab)));
+  }
+  return out;
+}
+
+/// First-turn prompt for `user`: shared system prompt + their opening tokens.
+inline std::vector<std::int32_t> chat_first_prompt(const ChatWorkloadConfig& cfg,
+                                                   std::size_t user) {
+  std::vector<std::int32_t> prompt = chat_system_prompt(cfg);
+  const std::vector<std::int32_t> turn = chat_turn_tokens(cfg, user, 0);
+  prompt.insert(prompt.end(), turn.begin(), turn.end());
+  return prompt;
+}
+
+/// Next-turn prompt: the full history (previous prompt + the reply the
+/// engine actually produced) followed by the user's fresh tokens. The
+/// history half is exactly what the prefix cache can serve from KV.
+inline std::vector<std::int32_t> chat_next_prompt(
+    const ChatWorkloadConfig& cfg, std::size_t user, std::size_t turn,
+    std::span<const std::int32_t> prev_prompt,
+    std::span<const std::int32_t> reply) {
+  std::vector<std::int32_t> prompt(prev_prompt.begin(), prev_prompt.end());
+  prompt.insert(prompt.end(), reply.begin(), reply.end());
+  const std::vector<std::int32_t> turn_toks =
+      chat_turn_tokens(cfg, user, turn);
+  prompt.insert(prompt.end(), turn_toks.begin(), turn_toks.end());
+  return prompt;
+}
 
 /// Median wall time of `fn` over `reps` runs, in microseconds.
 inline double time_us(const std::function<void()>& fn, int reps = 5) {

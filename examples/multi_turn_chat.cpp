@@ -1,29 +1,29 @@
-// Multi-turn chat serving: continuous batching over the LServe engine.
+// Multi-turn chat serving: continuous batching plus cross-request KV reuse.
 //
-// Several "users" with different prompt lengths and reply budgets share
-// one engine through the FCFS scheduler. The example shows iteration-level
-// batching (short requests retire early, freeing their KV pages for
-// waiting ones), calibrated head partitioning, and the per-request
-// accounting a deployment would log.
+// Several users share one engine through the FCFS scheduler. Every
+// conversation opens with the same system prompt, and each follow-up turn
+// replays the whole history — the shape of traffic the radix prefix cache
+// (kv/prefix_cache.hpp) exists for. The workload comes from the shared
+// bench generator (bench/common.hpp) so this example and
+// bench/serving_prefix_reuse exercise the identical token streams; here the
+// cache is ON and the per-turn accounting shows follow-up prefills shrink
+// to the fresh suffix.
 //
 // Run:  ./examples/multi_turn_chat
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "baselines/baseline_engines.hpp"
+#include "common.hpp"
 #include "serve/scheduler.hpp"
 
 using namespace lserve;
 
 int main() {
   serve::EngineConfig cfg = baselines::lserve_config(model::small());
-  cfg.dense_pages.page_size = 16;
-  cfg.dense_pages.logical_page_size = 4;
-  cfg.dense_pages.dtype = num::KvDtype::kInt8;
-  cfg.tiling = {16, 16};
-  cfg.streaming = {/*sink_tokens=*/16, /*local_tokens=*/64};
-  cfg.selector.token_budget = 128;
   cfg.pool_pages = 2048;
+  cfg.enable_prefix_cache = true;
   serve::Engine engine(cfg);
 
   // Offline head classification (DuoAttention-style gates measured on
@@ -36,55 +36,56 @@ int main() {
   std::printf("calibrated %zu/%zu kv heads as streaming heads\n\n",
               streaming_heads, engine.head_kinds().size());
 
-  serve::Scheduler scheduler(engine, /*max_batch=*/2);
-  struct Turn {
-    const char* user;
-    std::size_t prompt_tokens;
-    std::size_t reply_tokens;
-  };
-  const Turn turns[] = {
-      {"alice: long design doc question", 384, 6},
-      {"bob:   quick follow-up", 48, 4},
-      {"carol: pasted stack trace", 192, 8},
-      {"alice: second turn", 96, 5},
-  };
-  std::vector<std::uint64_t> ids;
-  for (const Turn& turn : turns) {
-    serve::Request req;
-    req.prompt.resize(turn.prompt_tokens);
-    for (std::size_t i = 0; i < req.prompt.size(); ++i) {
-      req.prompt[i] = static_cast<std::int32_t>((i * 31 + 7) % 1024);
-    }
-    req.max_new_tokens = turn.reply_tokens;
-    ids.push_back(scheduler.submit(std::move(req)));
+  serve::Scheduler scheduler(engine, /*max_batch=*/4);
+
+  bench::ChatWorkloadConfig wl;
+  wl.users = 3;
+  wl.turns_per_user = 3;
+  wl.system_prompt_tokens = 128;
+  wl.turn_prompt_tokens = 24;
+  wl.reply_tokens = 6;
+
+  // Chain each user's turns through on_done: the next prompt is the full
+  // history including the engine's actual reply, so follow-up turns hit
+  // the prefix cache at (almost) their entire prompt.
+  std::vector<std::vector<std::int32_t>> prompts(wl.users);
+  std::function<void(std::size_t, std::size_t)> launch =
+      [&](std::size_t user, std::size_t turn) {
+        serve::Request req;
+        req.prompt = prompts[user];
+        req.max_new_tokens = wl.reply_tokens;
+        req.on_done = [&, user, turn](const serve::RequestResult& r) {
+          std::printf("user %zu turn %zu: prompt=%4zu tok, reply=", user,
+                      turn, r.prompt_tokens);
+          for (auto t : r.output) std::printf("%d ", t);
+          std::printf("\n");
+          if (turn + 1 < wl.turns_per_user) {
+            prompts[user] = bench::chat_next_prompt(wl, user, turn + 1,
+                                                    prompts[user], r.output);
+            launch(user, turn + 1);
+          }
+        };
+        scheduler.submit(std::move(req));
+      };
+  for (std::size_t u = 0; u < wl.users; ++u) {
+    prompts[u] = bench::chat_first_prompt(wl, u);
+    launch(u, 0);
   }
 
   std::size_t iterations = 0;
-  while (scheduler.step()) {
-    ++iterations;
-    if (iterations % 2 == 0) {
-      std::printf("iteration %2zu: running=%zu waiting=%zu pages in use=%zu\n",
-                  iterations, scheduler.running(), scheduler.waiting(),
-                  engine.dense_allocator().pages_in_use());
-    }
-  }
+  while (scheduler.step()) ++iterations;
 
-  std::printf("\ncompleted %zu requests in %zu scheduler iterations\n",
-              scheduler.results().size(), iterations);
-  std::printf("%-6s %8s %8s   %s\n", "req", "prompt", "steps", "reply tokens");
-  for (const auto& result : scheduler.results()) {
-    std::printf("#%-5llu %8zu %8zu   ",
-                static_cast<unsigned long long>(result.request_id),
-                result.prompt_tokens, result.decode_steps);
-    for (auto t : result.output) std::printf("%d ", t);
-    std::printf("\n");
-  }
+  const serve::EngineStats& es = engine.stats();
   std::printf(
-      "\nall KV pages returned to the pool: dense in use=%zu, streaming in "
-      "use=%zu\nselector runs=%zu reuses=%zu (reuse interval %zu)\n",
+      "\ncompleted %zu requests in %zu scheduler iterations\n"
+      "prefix cache: %zu hits, %zu prompt tokens served from KV, "
+      "%zu COW copies, %zu evictions\n"
+      "pages: dense in use=%zu streaming in use=%zu "
+      "(cache holds %zu for the next turn)\n",
+      scheduler.results().size(), iterations, es.prefix_hits,
+      es.prefix_tokens_reused, es.prefix_cow_copies, es.prefix_evictions,
       engine.dense_allocator().pages_in_use(),
       engine.stream_allocator().pages_in_use(),
-      engine.stats().selector_runs, engine.stats().selector_reuses,
-      cfg.reuse_interval);
+      engine.prefix_cache_pages_held());
   return 0;
 }

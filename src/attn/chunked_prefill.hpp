@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "attn/block_sparse_prefill.hpp"
+#include "attn/streaming_attention.hpp"
 #include "kv/page_allocator.hpp"
 #include "kv/page_table.hpp"
 #include "numeric/tensor.hpp"
@@ -32,5 +33,30 @@ void chunked_prefill_head(const kv::PageAllocator& alloc,
                           num::ConstMatView k, num::ConstMatView v,
                           const BlockMask& chunk_mask, PrefillTiling tiling,
                           float scale, num::MatView out);
+
+/// Prefill one STREAMING head's chunk with the Λ mask evaluated in
+/// absolute sequence coordinates.
+///
+/// The monolithic path decides tile liveness from absolute q/k tile
+/// indices and the full sequence length `total_tokens`
+/// (BlockMask::streaming); a chunk starting at token `history_tokens`
+/// must reproduce those exact decisions or resuming prefill at a chunk —
+/// or prefix-cache attach — boundary changes which tokens each row
+/// attends. This kernel applies the identical predicate per (row, token):
+/// key tile kb is live for absolute row p iff kb < sink_blocks or
+/// kb + local_blocks > diag(p), diag(p) being the k-tile of the last row
+/// of p's q-tile clamped to total_tokens; tokens fold in ascending
+/// absolute order, matching the monolithic tile walk bit for bit.
+///
+/// `history` must list every retained block (sink + local ring, plus any
+/// not-yet-evicted pages appended for the chunk itself; entries at or past
+/// `history_tokens` are ignored). q/k/v are the chunk's [n x d] rows with
+/// k/v already round-tripped through the cache dtype.
+void chunked_prefill_streaming_head(
+    const kv::PageAllocator& alloc, const kv::SelectedPageTable& history,
+    std::size_t history_tokens, std::size_t total_tokens,
+    num::ConstMatView q, num::ConstMatView k, num::ConstMatView v,
+    StreamingBlocks streaming, PrefillTiling tiling, float scale,
+    num::MatView out);
 
 }  // namespace lserve::attn

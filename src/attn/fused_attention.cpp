@@ -76,19 +76,24 @@ void fused_chunked_prefill(const kv::PageAllocator& dense_alloc,
   BlockMask causal =
       BlockMask::causal(n, cfg.tiling.tile_q, cfg.tiling.tile_k);
   causal.finalize();
-  BlockMask lambda = BlockMask::streaming(
-      n, cfg.tiling.tile_q, cfg.tiling.tile_k, cfg.streaming.sink_blocks,
-      cfg.streaming.local_blocks);
-  lambda.finalize();
 
   for (std::size_t kvh = 0; kvh < kv_heads; ++kvh) {
     const bool streaming = cache.kind(layer, kvh) == kv::HeadKind::kStreaming;
     // Per-head token counts are authoritative: during a chunked prefill
-    // the layer loop interleaves attention and write-back, so the global
-    // sequence counter is ahead of the not-yet-written layers.
-    const std::size_t history_tokens =
+    // the layer loop interleaves write-back and attention, so the global
+    // sequence counter is ahead of the not-yet-written layers. The chunk
+    // was appended before this call, so history is what precedes it.
+    const std::size_t appended =
         streaming ? cache.streaming_head(layer, kvh).tokens()
                   : cache.dense_head(layer, kvh).tokens();
+    assert(appended >= n);
+    const std::size_t history_tokens = appended - n;
+    const std::size_t total_tokens =
+        cfg.total_tokens != 0 ? cfg.total_tokens : appended;
+    assert(total_tokens >= appended);
+    // The table includes the chunk's own pages (and, for streaming heads,
+    // stale locals whose eviction is deferred to end of chunk); the
+    // kernels ignore entries at or past history_tokens.
     const kv::SelectedPageTable history =
         history_tokens == 0
             ? kv::SelectedPageTable{}
@@ -105,8 +110,9 @@ void fused_chunked_prefill(const kv::PageAllocator& dense_alloc,
       const num::ConstMatView qh = q.cols_slice(h * head_dim, head_dim);
       num::MatView oh = out.cols_slice(h * head_dim, head_dim);
       if (streaming) {
-        chunked_prefill_head(alloc, history, history_tokens, qh, kh, vh,
-                             lambda, cfg.tiling, scale, oh);
+        chunked_prefill_streaming_head(alloc, history, history_tokens,
+                                       total_tokens, qh, kh, vh,
+                                       cfg.streaming, cfg.tiling, scale, oh);
       } else if (cfg.dynamic_dense) {
         const BlockMask dyn = sparse::build_dynamic_prefill_mask(
             qh, kh, cfg.tiling, cfg.dynamic_cfg, scale);

@@ -35,6 +35,11 @@ struct FusedPrefillConfig {
   float scale = 0.0f;                 ///< 0 => 1/sqrt(head_dim).
   bool dynamic_dense = false;         ///< MInference-style mask on dense heads.
   sparse::DynamicPrefillConfig dynamic_cfg;
+  /// Full sequence length being prefilled (prompt tokens), used by
+  /// streaming heads to clamp the Λ diagonal in absolute coordinates so
+  /// every chunk schedule makes identical tile decisions. 0 means "this
+  /// chunk is the whole sequence" (history + chunk).
+  std::size_t total_tokens = 0;
 };
 
 /// Decode-stage policy for a layer.
@@ -54,13 +59,18 @@ void fused_sparse_prefill(num::ConstMatView q, num::ConstMatView k,
                           std::size_t head_dim, const FusedPrefillConfig& cfg,
                           num::MatView out);
 
-/// Fused CHUNKED prefill over all heads of one layer: the chunk's queries
-/// attend to the paged history already in `cache` (dense heads: full page
-/// table; streaming heads: sink+local index table) plus the in-chunk
-/// causal/Λ/dynamic prefix. With an empty cache this equals
-/// fused_sparse_prefill. Exactness note: for streaming heads the Λ mask is
-/// reproduced exactly when the chunk size does not exceed the local
-/// window (the engine's default configuration).
+/// Fused CHUNKED prefill over all heads of one layer. Called AFTER the
+/// chunk's KV write-back (TwoWayKvCache::append_roundtrip, with streaming
+/// eviction deferred): per-head token counts minus the chunk length give
+/// the history extent, and the in-chunk k/v rows — already round-tripped
+/// through the cache dtype — carry exactly the bits later readers load.
+/// The chunk's queries attend to the paged history (dense heads: full
+/// page table; streaming heads: sink+local index table) plus the in-chunk
+/// causal/Λ/dynamic prefix; streaming Λ decisions are made in absolute
+/// coordinates against cfg.total_tokens. Together these make prefill
+/// invariant to the chunk/attach schedule for causal dense and streaming
+/// heads (dynamic_dense masks remain chunk-local, hence schedule-
+/// dependent). With an empty history this equals fused_sparse_prefill.
 /// q: [n x q_heads*head_dim], k/v: [n x kv_heads*head_dim] for the CHUNK.
 void fused_chunked_prefill(const kv::PageAllocator& dense_alloc,
                            const kv::PageAllocator& stream_alloc,

@@ -20,12 +20,24 @@ class HeadCache {
   /// Appends one token's key/value; allocates a new page on block boundary.
   void append(PageAllocator& alloc, const float* key, const float* value);
 
+  /// Prefill write-back: appends and loads the stored (quantized) row back
+  /// into `key`/`value` so in-chunk attention reads exactly what the cache
+  /// will serve later (see Page::append_roundtrip).
+  void append_roundtrip(PageAllocator& alloc, float* key, float* value);
+
   /// Dequantizes the key / value of absolute token `t` (0-based).
   void load_key(const PageAllocator& alloc, std::size_t t, float* out) const;
   void load_value(const PageAllocator& alloc, std::size_t t, float* out) const;
 
+  /// Prefix-cache attach: adopts `pages` as the first ceil(tokens/NP)
+  /// pages of this head, already filled with `tokens` tokens. The caller
+  /// owns one reference per page (shared full pages via add_ref, a private
+  /// COW copy for a partial tail). Precondition: the head is empty.
+  void attach(std::vector<PageId> pages, std::size_t tokens) noexcept;
+
   std::size_t tokens() const noexcept { return tokens_; }
   std::size_t num_pages() const noexcept { return pages_.size(); }
+  const std::vector<PageId>& pages() const noexcept { return pages_; }
 
   PageTableView view(const PageAllocator& alloc) const noexcept {
     return {pages_, tokens_, alloc.config().page_size};

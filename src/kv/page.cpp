@@ -41,6 +41,39 @@ std::size_t Page::append(const float* key, const float* value) noexcept {
   return slot;
 }
 
+std::size_t Page::append_roundtrip(float* key, float* value) noexcept {
+  const std::size_t slot = append(key, value);
+  if (cfg_.dtype != num::KvDtype::kFp16) {
+    keys_.load_row(slot, key);
+    values_.load_row(slot, value);
+  }
+  return slot;
+}
+
+void Page::copy_prefix_from(const Page& src, std::size_t n) noexcept {
+  assert(initialized_ && src.initialized_);
+  assert(empty());
+  assert(n <= src.count_);
+  assert(cfg_.page_size == src.cfg_.page_size &&
+         cfg_.logical_page_size == src.cfg_.logical_page_size &&
+         cfg_.head_dim == src.cfg_.head_dim && cfg_.dtype == src.cfg_.dtype &&
+         cfg_.track_kstats == src.cfg_.track_kstats);
+  keys_.copy_rows_from(src.keys_, n);
+  values_.copy_rows_from(src.values_, n);
+  count_ = n;
+  if (cfg_.track_kstats) {
+    // Same fold as append(): stats over the dequantized (or raw fp) key rows,
+    // replayed slot by slot so the result matches an append-built page.
+    stats_.reset();
+    float deq[1024];
+    assert(cfg_.head_dim <= 1024);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      keys_.load_row(slot, deq);
+      stats_.update(slot, cfg_.logical_page_size, deq);
+    }
+  }
+}
+
 void Page::load_key(std::size_t slot, float* out) const noexcept {
   assert(slot < count_);
   keys_.load_row(slot, out);

@@ -28,6 +28,7 @@ void PageAllocator::add_chunk_locked() {
   chunks_[index].store(chunk_storage_.back().get(),
                        std::memory_order_release);
   live_.resize(total_slots_ + kChunkSize, 0);
+  refs_.resize(total_slots_ + kChunkSize, 0);
   // LIFO order within the chunk: its lowest id is handed out first.
   for (std::size_t i = kChunkSize; i > 0; --i) {
     free_list_.push_back(static_cast<PageId>(total_slots_ + i - 1));
@@ -65,21 +66,55 @@ PageId PageAllocator::allocate() {
   {
     MutexLock lock(mu_);
     live_[id] = 1;
+    refs_[id] = 1;
   }
   auditor_.on_alloc(id);
   return id;
 }
 
 void PageAllocator::free(PageId id) noexcept {
+  bool final_free = false;
+  {
+    MutexLock lock(mu_);
+    // Invalid frees (out-of-range / dead page) fall through to the
+    // auditor, whose never-allocated/double-free report carries owner and
+    // site attribution the plain asserts below lack.
+    if (id >= total_slots_ || !live_[id] || refs_[id] <= 1) {
+      final_free = true;
+    } else {
+      --refs_[id];
+    }
+  }
+  if (!final_free) {
+    auditor_.on_unref(id);
+    return;
+  }
   // Audit first (own lock): a double-free/foreign-free report fires before
   // the allocator's state is disturbed.
   auditor_.on_free(id);
   MutexLock lock(mu_);
   assert(id < total_slots_);
-  assert(live_[id] && "double free of a KV page");
+  assert(live_[id] && "free of a dead KV page");
+  refs_[id] = 0;
   live_[id] = 0;
   --in_use_;
   free_list_.push_back(id);
+}
+
+void PageAllocator::add_ref(PageId id) noexcept {
+  {
+    MutexLock lock(mu_);
+    assert(id < total_slots_);
+    assert(live_[id] && "add_ref on a dead KV page");
+    ++refs_[id];
+  }
+  auditor_.on_add_ref(id);
+}
+
+std::size_t PageAllocator::ref_count(PageId id) const noexcept {
+  MutexLock lock(mu_);
+  assert(id < total_slots_);
+  return refs_[id];
 }
 
 std::size_t PageAllocator::capacity() const noexcept {

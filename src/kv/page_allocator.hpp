@@ -12,7 +12,9 @@
 // fixed-size chunks behind a preallocated directory of atomic pointers, so
 // growing the pool never moves existing Page objects and a Page& stays
 // valid across concurrent allocations. Concurrent access to the *same*
-// page is the caller's problem (a page belongs to one sequence) — in
+// page is the caller's problem: a page belongs to one sequence unless it
+// has been shared via add_ref() (prefix-cache reuse), in which case every
+// holder must treat it as immutable and free() releases one reference. In
 // LSERVE_AUDIT builds the PageAuditor enforces exactly that ownership
 // contract at free() time and attributes leaks at drain.
 #pragma once
@@ -43,10 +45,19 @@ class PageAllocator {
   /// Thread-safe.
   PageId allocate();
 
-  /// Returns a page to the free list. Double-free is a programming error
-  /// (checked in debug builds; checked with owner/site attribution in
-  /// LSERVE_AUDIT builds). Thread-safe.
+  /// Releases one reference to the page; returns it to the free list when
+  /// the last reference drops. Freshly allocated pages have refcount 1, so
+  /// unshared pages keep the old free-once semantics. Over-free is a
+  /// programming error (checked in debug builds; checked with owner/site
+  /// attribution in LSERVE_AUDIT builds). Thread-safe.
   void free(PageId id) noexcept;
+
+  /// Adds a reference to a live page (prefix-cache sharing). Shared pages
+  /// must be treated as immutable by all holders. Thread-safe.
+  void add_ref(PageId id) noexcept;
+
+  /// Current reference count of a live page (0 for a free slot).
+  std::size_t ref_count(PageId id) const noexcept;
 
   Page& get(PageId id) noexcept {
     return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
@@ -99,6 +110,7 @@ class PageAllocator {
   std::size_t total_slots_ GUARDED_BY(mu_) = 0;  ///< created page slots.
   std::vector<PageId> free_list_ GUARDED_BY(mu_);  ///< LIFO.
   std::vector<std::uint8_t> live_ GUARDED_BY(mu_);  ///< per-slot liveness.
+  std::vector<std::uint32_t> refs_ GUARDED_BY(mu_);  ///< per-slot refcount.
   std::size_t in_use_ GUARDED_BY(mu_) = 0;
   std::size_t peak_in_use_ GUARDED_BY(mu_) = 0;
   /// Empty (and storage-free) unless LSERVE_AUDIT is on; has its own

@@ -69,7 +69,39 @@ void PageAuditor::on_alloc(PageId id) {
   rec.site = PageAuditScope::current_site();
   rec.thread_id = this_thread_id();
   rec.live = true;
+  rec.shared = false;
   ++live_;
+}
+
+void PageAuditor::on_add_ref(PageId id) noexcept {
+  MutexLock lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || !it->second.live) {
+    std::fprintf(stderr,
+                 "[lserve page audit] add_ref on dead page %u by "
+                 "owner seq %llu at %s\n",
+                 static_cast<unsigned>(id),
+                 static_cast<unsigned long long>(
+                     PageAuditScope::current_owner()),
+                 PageAuditScope::current_site());
+    std::abort();
+  }
+  it->second.shared = true;
+}
+
+void PageAuditor::on_unref(PageId id) noexcept {
+  MutexLock lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || !it->second.live) {
+    std::fprintf(stderr,
+                 "[lserve page audit] unref of dead page %u by "
+                 "owner seq %llu at %s\n",
+                 static_cast<unsigned>(id),
+                 static_cast<unsigned long long>(
+                     PageAuditScope::current_owner()),
+                 PageAuditScope::current_site());
+    std::abort();
+  }
 }
 
 void PageAuditor::on_free(PageId id) noexcept {
@@ -87,7 +119,7 @@ void PageAuditor::on_free(PageId id) noexcept {
   }
   Record& rec = it->second;
   if (!rec.live) die_locked("double free", id);
-  if (rec.owner != PageAuditScope::current_owner()) {
+  if (!rec.shared && rec.owner != PageAuditScope::current_owner()) {
     die_locked("foreign free (owner mismatch)", id);
   }
   rec.live = false;

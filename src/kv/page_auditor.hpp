@@ -93,7 +93,20 @@ class PageAuditor {
   void on_alloc(PageId id);
   /// Verifies live + same-owner, then records the free. Prints an
   /// attribution report and abort()s on double-free or foreign free.
+  /// Once a page has been shared (on_add_ref), the owner check is waived:
+  /// shared-ownership pages are legally released by any of their holders
+  /// (prefix-cache refcounted pages). Exclusively-owned pages keep the
+  /// strict check.
   void on_free(PageId id) noexcept;
+
+  /// Records a refcount increment on a live page (prefix-cache sharing).
+  /// Marks the page shared — from here until its final free, any sequence
+  /// (or the cache itself) may legally release a reference. Aborts if the
+  /// page is not live.
+  void on_add_ref(PageId id) noexcept;
+  /// Records a non-final refcount decrement. Aborts if the page is not
+  /// live (a decref after the final free is a use-after-free).
+  void on_unref(PageId id) noexcept;
 
   /// One "page <id>: owner seq <o>, allocated at <site> on thread <t>"
   /// line per live page (empty string when nothing is live). The
@@ -110,6 +123,9 @@ class PageAuditor {
     const char* site = "(unscoped)";
     std::uint64_t thread_id = 0;
     bool live = false;
+    /// Set by on_add_ref, cleared on the next on_alloc: this page has (or
+    /// had) multiple holders, so frees need not come from the alloc owner.
+    bool shared = false;
     /// Last-free attribution, kept for double-free reports.
     std::uint64_t free_owner = kAuditNoOwner;
     const char* free_site = "(never freed)";
@@ -142,6 +158,8 @@ class PageAuditor {
  public:
   void on_alloc(PageId /*id*/) noexcept {}
   void on_free(PageId /*id*/) noexcept {}
+  void on_add_ref(PageId /*id*/) noexcept {}
+  void on_unref(PageId /*id*/) noexcept {}
   std::string report_live() const { return std::string(); }
   std::size_t live_pages() const { return 0; }
 };

@@ -5,9 +5,8 @@
 
 namespace lserve::kv {
 
-void StreamingHeadCache::append(PageAllocator& alloc,
-                                const StreamingConfig& cfg, const float* key,
-                                const float* value) {
+Page& StreamingHeadCache::append_page(PageAllocator& alloc,
+                                      const StreamingConfig& cfg) {
   const std::size_t page_size = alloc.config().page_size;
   const std::size_t sink_blocks =
       (cfg.sink_tokens + page_size - 1) / page_size;
@@ -21,19 +20,31 @@ void StreamingHeadCache::append(PageAllocator& alloc,
       local_pages_.push_back({block, id});
     }
   }
+  return block < sink_blocks ? alloc.get(sink_pages_[block])
+                             : alloc.get(local_pages_.back().page);
+}
 
-  Page* page = nullptr;
-  if (block < sink_blocks) {
-    page = &alloc.get(sink_pages_[block]);
-  } else {
-    page = &alloc.get(local_pages_.back().page);
-  }
-  page->append(key, value);
+void StreamingHeadCache::append(PageAllocator& alloc,
+                                const StreamingConfig& cfg, const float* key,
+                                const float* value) {
+  append_page(alloc, cfg).append(key, value);
   ++tokens_;
+  evict_stale(alloc, cfg);
+}
 
+void StreamingHeadCache::append_roundtrip(PageAllocator& alloc,
+                                          const StreamingConfig& cfg,
+                                          float* key, float* value) {
+  append_page(alloc, cfg).append_roundtrip(key, value);
+  ++tokens_;
+}
+
+void StreamingHeadCache::evict_stale(PageAllocator& alloc,
+                                     const StreamingConfig& cfg) {
   // Evict local pages whose entire block now precedes the local window.
   // Block b covers tokens [b*NP, (b+1)*NP); it is dead once its last token
   // is older than tokens_ - local_tokens.
+  const std::size_t page_size = alloc.config().page_size;
   while (!local_pages_.empty()) {
     const LocalPage& oldest = local_pages_.front();
     const std::size_t block_end =
@@ -45,6 +56,27 @@ void StreamingHeadCache::append(PageAllocator& alloc,
       break;
     }
   }
+}
+
+void StreamingHeadCache::attach(
+    std::vector<PageId> sinks,
+    const std::vector<std::pair<std::uint32_t, PageId>>& locals,
+    std::size_t tokens) noexcept {
+  assert(sink_pages_.empty() && local_pages_.empty() && tokens_ == 0);
+  sink_pages_ = std::move(sinks);
+  for (const auto& [block, page] : locals) {
+    assert(local_pages_.empty() || local_pages_.back().block < block);
+    local_pages_.push_back({block, page});
+  }
+  tokens_ = tokens;
+}
+
+PageId StreamingHeadCache::page_for_block(std::uint32_t block) const noexcept {
+  if (block < sink_pages_.size()) return sink_pages_[block];
+  for (const LocalPage& lp : local_pages_) {
+    if (lp.block == block) return lp.page;
+  }
+  return kInvalidPage;
 }
 
 SelectedPageTable StreamingHeadCache::index_table() const {
@@ -96,6 +128,30 @@ void TwoWayKvCache::append(PageAllocator& dense_alloc,
   if (layer == 0 && h == 0) ++tokens_seen_;
 }
 
+void TwoWayKvCache::append_roundtrip(PageAllocator& dense_alloc,
+                                     PageAllocator& stream_alloc,
+                                     std::size_t layer, std::size_t h,
+                                     float* key, float* value) {
+  const std::size_t idx = layer * kv_heads_ + h;
+  if (kinds_[idx] == HeadKind::kDense) {
+    dense_[idx].append_roundtrip(dense_alloc, key, value);
+  } else {
+    streaming_[idx].append_roundtrip(stream_alloc, streaming_cfg_, key,
+                                     value);
+  }
+  if (layer == 0 && h == 0) ++tokens_seen_;
+}
+
+void TwoWayKvCache::evict_stale(PageAllocator& stream_alloc,
+                                std::size_t layer) {
+  for (std::size_t h = 0; h < kv_heads_; ++h) {
+    const std::size_t idx = layer * kv_heads_ + h;
+    if (kinds_[idx] == HeadKind::kStreaming) {
+      streaming_[idx].evict_stale(stream_alloc, streaming_cfg_);
+    }
+  }
+}
+
 const HeadCache& TwoWayKvCache::dense_head(std::size_t layer,
                                            std::size_t h) const {
   const std::size_t idx = layer * kv_heads_ + h;
@@ -111,6 +167,13 @@ HeadCache& TwoWayKvCache::dense_head(std::size_t layer, std::size_t h) {
 
 const StreamingHeadCache& TwoWayKvCache::streaming_head(std::size_t layer,
                                                         std::size_t h) const {
+  const std::size_t idx = layer * kv_heads_ + h;
+  assert(kinds_[idx] == HeadKind::kStreaming);
+  return streaming_[idx];
+}
+
+StreamingHeadCache& TwoWayKvCache::streaming_head(std::size_t layer,
+                                                  std::size_t h) {
   const std::size_t idx = layer * kv_heads_ + h;
   assert(kinds_[idx] == HeadKind::kStreaming);
   return streaming_[idx];

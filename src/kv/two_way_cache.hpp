@@ -11,8 +11,10 @@
 // (the two-level indexing unification of §3.6).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "kv/kv_cache.hpp"
@@ -40,7 +42,33 @@ class StreamingHeadCache {
   void append(PageAllocator& alloc, const StreamingConfig& cfg,
               const float* key, const float* value);
 
+  /// Prefill write-back: appends with quantization round-trip (see
+  /// Page::append_roundtrip) and — unlike append() — does NOT evict stale
+  /// local pages. Chunked prefill appends the whole chunk before running
+  /// attention; the boundary-window pages that early chunk rows still
+  /// attend must stay alive until evict_stale() runs at end of chunk.
+  void append_roundtrip(PageAllocator& alloc, const StreamingConfig& cfg,
+                        float* key, float* value);
+
+  /// Frees local pages whose entire block now precedes the Λ window.
+  /// append() calls this eagerly; after append_roundtrip() the caller
+  /// runs it once per chunk.
+  void evict_stale(PageAllocator& alloc, const StreamingConfig& cfg);
+
   std::size_t tokens() const noexcept { return tokens_; }
+
+  /// Prefix-cache attach: adopts the exact page set streaming state would
+  /// hold after appending `tokens` tokens — `sinks` are blocks [0, |sinks|),
+  /// `locals` are (block, page) pairs for retained trailing-window blocks
+  /// in ascending block order. The caller owns one reference per page.
+  /// Precondition: the head is empty.
+  void attach(std::vector<PageId> sinks,
+              const std::vector<std::pair<std::uint32_t, PageId>>& locals,
+              std::size_t tokens) noexcept;
+
+  /// The retained page covering logical block `block`, or kInvalidPage if
+  /// that block has been evicted from the Λ window.
+  PageId page_for_block(std::uint32_t block) const noexcept;
 
   /// Pages currently retained (sinks + local ring), as a pruned page table
   /// sorted by logical block — directly consumable by the decode kernel.
@@ -58,6 +86,8 @@ class StreamingHeadCache {
     std::uint32_t block;
     PageId page;
   };
+  /// Allocates-on-boundary and returns the page the next token lands in.
+  Page& append_page(PageAllocator& alloc, const StreamingConfig& cfg);
   std::vector<PageId> sink_pages_;     // blocks [0, sink_blocks)
   std::deque<LocalPage> local_pages_;  // trailing window
   std::size_t tokens_ = 0;
@@ -89,6 +119,20 @@ class TwoWayKvCache {
               std::size_t layer, std::size_t h, const float* key,
               const float* value);
 
+  /// Prefill write-back variant: round-trips the row through the cache
+  /// dtype (key/value hold the stored representation on return) and
+  /// defers streaming eviction to evict_stale(). The chunked-prefill path
+  /// appends the whole chunk, runs attention over the round-tripped rows
+  /// plus the still-alive boundary window, then evicts — the ordering
+  /// that makes prefill chunk-schedule-invariant.
+  void append_roundtrip(PageAllocator& dense_alloc,
+                        PageAllocator& stream_alloc, std::size_t layer,
+                        std::size_t h, float* key, float* value);
+
+  /// Frees stale local pages of one layer's streaming heads (the deferred
+  /// half of append_roundtrip). No-op for dense heads.
+  void evict_stale(PageAllocator& stream_alloc, std::size_t layer);
+
   /// Dense-head accessors (precondition: kind == kDense).
   const HeadCache& dense_head(std::size_t layer, std::size_t h) const;
   HeadCache& dense_head(std::size_t layer, std::size_t h);
@@ -96,9 +140,18 @@ class TwoWayKvCache {
   /// Streaming-head accessors (precondition: kind == kStreaming).
   const StreamingHeadCache& streaming_head(std::size_t layer,
                                            std::size_t h) const;
+  StreamingHeadCache& streaming_head(std::size_t layer, std::size_t h);
 
   /// Tokens appended so far (uniform across heads).
   std::size_t tokens() const noexcept { return tokens_seen_; }
+
+  /// Prefix-cache attach bookkeeping: records that the first `n` tokens
+  /// arrived via page attach rather than append. Precondition: no tokens
+  /// appended yet.
+  void note_attached_tokens(std::size_t n) noexcept {
+    assert(tokens_seen_ == 0);
+    tokens_seen_ = n;
+  }
 
   void release(PageAllocator& dense_alloc, PageAllocator& stream_alloc);
 

@@ -160,6 +160,23 @@ void QuantizedRows::load_row(std::size_t r, float* out) const noexcept {
   }
 }
 
+void QuantizedRows::copy_rows_from(const QuantizedRows& src,
+                                   std::size_t n) noexcept {
+  assert(n <= rows_ && n <= src.rows_);
+  assert(dim_ == src.dim_ && dtype_ == src.dtype_);
+  if (n == 0) return;
+  switch (dtype_) {
+    case KvDtype::kFp16:
+      std::memcpy(fp_.data(), src.fp_.data(), n * dim_ * sizeof(float));
+      break;
+    case KvDtype::kInt8:
+    case KvDtype::kInt4:
+      std::memcpy(codes_.data(), src.codes_.data(), n * row_bytes_);
+      break;
+  }
+  std::memcpy(params_.data(), src.params_.data(), n * sizeof(QuantParams));
+}
+
 const float* QuantizedRows::fp_row(std::size_t r) const noexcept {
   assert(dtype_ == KvDtype::kFp16 && r < rows_);
   return fp_.data() + r * dim_;

@@ -74,6 +74,11 @@ class QuantizedRows {
   /// Dequantizes slot r into `out` (length dim).
   void load_row(std::size_t r, float* out) const noexcept;
 
+  /// Copies the first `n` rows of `src` (same geometry and dtype) verbatim
+  /// — quantized codes and per-row params, no dequant/requant round trip —
+  /// so the copy is bit-identical to the source. Prefix-cache COW path.
+  void copy_rows_from(const QuantizedRows& src, std::size_t n) noexcept;
+
   /// Direct fp32 access when dtype == kFp16 (hot-path shortcut).
   const float* fp_row(std::size_t r) const noexcept;
 

@@ -50,6 +50,21 @@ Engine::Engine(EngineConfig cfg)
     }
   }
   recount_head_slots();
+  rebuild_prefix_cache();
+}
+
+void Engine::rebuild_prefix_cache() {
+  prefix_cache_.reset();
+  if (!cfg_.enable_prefix_cache) return;
+  kv::PrefixCacheConfig pc;
+  pc.layers = cfg_.model.layers;
+  pc.kv_heads = cfg_.model.kv_heads;
+  pc.kinds = head_kinds_;
+  pc.streaming = cfg_.streaming;
+  pc.max_pages = cfg_.prefix_cache_pages;
+  prefix_cache_ = std::make_unique<kv::PrefixCache>(dense_alloc_,
+                                                    stream_alloc_,
+                                                    std::move(pc));
 }
 
 void Engine::recount_head_slots() noexcept {
@@ -64,6 +79,9 @@ void Engine::set_head_kinds(std::vector<kv::HeadKind> kinds) {
   assert(kinds.size() == cfg_.model.layers * cfg_.model.kv_heads);
   head_kinds_ = std::move(kinds);
   recount_head_slots();
+  // A partition change invalidates every cached page set (the tree's page
+  // roles no longer match new sequences'); rebuild empty.
+  rebuild_prefix_cache();
 }
 
 std::vector<float> Engine::calibrate_head_kinds() {
@@ -118,6 +136,7 @@ std::vector<float> Engine::calibrate_head_kinds() {
   head_kinds_ =
       sparse::classify_by_quantile(gates, cfg_.streaming_fraction);
   recount_head_slots();
+  rebuild_prefix_cache();
   return gates;
 }
 
@@ -176,7 +195,11 @@ void Engine::forward_prefill(Sequence& seq, num::Tensor& hidden,
   const std::size_t h = cfg_.model.hidden();
   const std::size_t kvd = cfg_.model.kv_dim();
   const std::size_t d = cfg_.model.head_dim;
-  const attn::FusedPrefillConfig pc = prefill_config(n);
+  attn::FusedPrefillConfig pc = prefill_config(n);
+  // Absolute Λ geometry: position + prefill_remaining is the full prompt
+  // length regardless of how it is chunked or how much a prefix-cache
+  // attach already covered.
+  pc.total_tokens = seq.position + seq.prefill_remaining;
 
   num::Tensor normed(n, h);
   num::Tensor q(n, h);
@@ -188,19 +211,26 @@ void Engine::forward_prefill(Sequence& seq, num::Tensor& hidden,
     tf_.rms_norm(hidden.view(), layer, normed.view());
     tf_.qkv_project(normed.view(), layer, pos0, q.view(), k.view(), v.view());
 
+    // KV write-back first (the paper's two quantized write-back kernels),
+    // round-tripping each row through the cache dtype: attention must see
+    // the quantized K/V or a chunk/attach boundary would change numerics
+    // (in-chunk rows raw, history rows dequantized). Streaming eviction
+    // is deferred so early chunk rows can still attend the pages that
+    // were inside the Λ window at the chunk boundary.
+    for (std::size_t t = 0; t < n; ++t) {
+      for (std::size_t kvh = 0; kvh < cfg_.model.kv_heads; ++kvh) {
+        seq.cache.append_roundtrip(dense_alloc_, stream_alloc_, layer, kvh,
+                                   k.row(t) + kvh * d, v.row(t) + kvh * d);
+      }
+    }
+
     // Attention over (cached history, in-chunk prefix); with an empty
-    // cache this is the ordinary fused block-sparse prefill.
+    // history this is the ordinary fused block-sparse prefill.
     attn::fused_chunked_prefill(dense_alloc_, stream_alloc_, seq.cache,
                                 layer, q.view(), k.view(), v.view(), d, pc,
                                 attn_out.view());
 
-    // KV write-back (the paper's two quantized write-back kernels).
-    for (std::size_t t = 0; t < n; ++t) {
-      for (std::size_t kvh = 0; kvh < cfg_.model.kv_heads; ++kvh) {
-        seq.cache.append(dense_alloc_, stream_alloc_, layer, kvh,
-                         k.row(t) + kvh * d, v.row(t) + kvh * d);
-      }
-    }
+    seq.cache.evict_stale(stream_alloc_, layer);
 
     tf_.output_project(attn_out.view(), layer, hidden.view());
     tf_.ffn(hidden.view(), layer);
@@ -256,8 +286,12 @@ std::int32_t Engine::prefill(SequenceId id,
 void Engine::begin_prefill(SequenceId id, std::size_t total_tokens) {
   Sequence& seq = *sequences_[id];
   assert(seq.phase == SequencePhase::kWaiting && total_tokens > 0);
+  // A prefix-cache attach may already have advanced position past the
+  // reused prefix; only the uncached suffix is still owed (attach caps at
+  // total_tokens - 1, so at least one token always remains).
+  assert(total_tokens > seq.position);
   seq.phase = SequencePhase::kPrefilling;
-  seq.prefill_remaining = total_tokens;
+  seq.prefill_remaining = total_tokens - seq.position;
 }
 
 std::size_t Engine::prefill_chunk(SequenceId id,
@@ -376,6 +410,83 @@ PageDemand Engine::estimate_request_pages(
       stream_alloc_.pages_for_tokens(cfg_.streaming.sink_tokens) +
           stream_alloc_.pages_for_tokens(cfg_.streaming.local_tokens) + 1);
   return {dense_slots_ * full, stream_slots_ * stream_cap};
+}
+
+PageDemand Engine::estimate_request_pages(
+    std::size_t total_tokens, std::size_t cached_tokens) const noexcept {
+  PageDemand d = estimate_request_pages(total_tokens);
+  if (cached_tokens == 0) return d;
+  // Only *full* blocks are shared (the tail is COW-copied, which does
+  // allocate), and shared pages are already counted in pool occupancy —
+  // a hit adds no new allocation for them.
+  const std::size_t np = dense_alloc_.config().page_size;
+  const std::size_t full_blocks = cached_tokens / np;
+  const std::size_t dense_saved = dense_slots_ * full_blocks;
+  d.dense_pages -= std::min(d.dense_pages, dense_saved);
+  // Streaming heads only share blocks still retained at the attach depth
+  // (kv/prefix_cache.hpp): sinks plus the locals inside the Λ window.
+  const std::size_t sink_blocks =
+      (cfg_.streaming.sink_tokens + np - 1) / np;
+  std::size_t stream_shared = 0;
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    if (b < sink_blocks ||
+        cached_tokens < cfg_.streaming.local_tokens + (b + 1) * np) {
+      ++stream_shared;
+    }
+  }
+  d.stream_pages -= std::min(d.stream_pages, stream_slots_ * stream_shared);
+  return d;
+}
+
+std::size_t Engine::prefix_match_tokens(
+    std::span<const std::int32_t> prompt) const {
+  if (prefix_cache_ == nullptr || prompt.size() < 2) return 0;
+  return prefix_cache_->match_tokens(prompt, prompt.size() - 1);
+}
+
+std::size_t Engine::attach_prefix(SequenceId id,
+                                  std::span<const std::int32_t> prompt) {
+  if (prefix_cache_ == nullptr || prompt.size() < 2) return 0;
+  Sequence& seq = *sequences_[id];
+  assert(seq.phase == SequencePhase::kWaiting && seq.position == 0);
+  const kv::PageAuditScope audit(id, "Engine::attach_prefix");
+  const std::size_t attached =
+      prefix_cache_->attach(prompt, prompt.size() - 1, seq.cache);
+  seq.position = attached;
+  refresh_prefix_stats();
+  return attached;
+}
+
+void Engine::insert_prefix(SequenceId id,
+                           std::span<const std::int32_t> tokens) {
+  if (prefix_cache_ == nullptr || tokens.empty()) return;
+  Sequence& seq = *sequences_[id];
+  assert(tokens.size() <= seq.cache.tokens());
+  const kv::PageAuditScope audit(id, "Engine::insert_prefix");
+  prefix_cache_->insert(tokens, seq.cache);
+  refresh_prefix_stats();
+}
+
+std::size_t Engine::reclaim_prefix_pages(std::size_t target_pages) {
+  if (prefix_cache_ == nullptr || target_pages == 0) return 0;
+  const kv::PageAuditScope audit(kv::kAuditNoOwner,
+                                 "Engine::reclaim_prefix_pages");
+  const std::size_t freed = prefix_cache_->reclaim(target_pages);
+  refresh_prefix_stats();
+  return freed;
+}
+
+std::size_t Engine::prefix_cache_pages_held() const {
+  return prefix_cache_ == nullptr ? 0 : prefix_cache_->pages_held();
+}
+
+void Engine::refresh_prefix_stats() {
+  if (prefix_cache_ == nullptr) return;
+  const kv::PrefixCacheStats s = prefix_cache_->stats();
+  stats_.prefix_hits = s.hits;
+  stats_.prefix_tokens_reused = s.tokens_reused;
+  stats_.prefix_cow_copies = s.cow_copies;
+  stats_.prefix_evictions = s.evictions;
 }
 
 }  // namespace lserve::serve

@@ -15,6 +15,7 @@
 
 #include "attn/fused_attention.hpp"
 #include "kv/page_allocator.hpp"
+#include "kv/prefix_cache.hpp"
 #include "model/model_config.hpp"
 #include "model/transformer.hpp"
 #include "serve/sequence.hpp"
@@ -51,6 +52,14 @@ struct EngineConfig {
 
   std::size_t pool_pages = 2048;  ///< initial page-pool capacity.
   std::uint64_t seed = 42;
+
+  /// Cross-request KV reuse: radix prefix cache over the page pools
+  /// (kv/prefix_cache.hpp). Off by default — when off, every path is
+  /// bit-identical to the pre-cache engine.
+  bool enable_prefix_cache = false;
+  /// Page budget of the prefix tree (0 = unbounded); insert-time LRU
+  /// eviction keeps the tree at or under this.
+  std::size_t prefix_cache_pages = 0;
 };
 
 /// Worst-case page-pool demand of a request, split by pool. Computed from
@@ -73,6 +82,12 @@ struct EngineStats {
   std::size_t sequences_created = 0;   ///< create_sequence() calls.
   std::size_t sequences_released = 0;  ///< release_sequence() calls — equal
                                        ///< when no sequence is live.
+  /// Prefix-cache counters (mirrored from PrefixCacheStats; all zero when
+  /// the cache is disabled).
+  std::size_t prefix_hits = 0;           ///< attaches reusing >= 1 token.
+  std::size_t prefix_tokens_reused = 0;  ///< prompt tokens skipped.
+  std::size_t prefix_cow_copies = 0;     ///< copy-on-write page copies.
+  std::size_t prefix_evictions = 0;      ///< tree nodes evicted.
 };
 
 /// Long-sequence serving engine with unified sparse attention.
@@ -172,6 +187,50 @@ class Engine {
   /// Streaming heads are capped by their sink + local-window geometry.
   PageDemand estimate_request_pages(std::size_t total_tokens) const noexcept;
 
+  /// As above, but discounting pages a prefix-cache attach at depth
+  /// `cached_tokens` would share instead of allocate — the admission-side
+  /// view that lets a cache hit count only its uncached suffix.
+  PageDemand estimate_request_pages(std::size_t total_tokens,
+                                    std::size_t cached_tokens) const noexcept;
+
+  /// Prompt tokens an attach_prefix() for `prompt` would reuse right now
+  /// (0 when the cache is disabled). Capped at prompt.size() - 1 so at
+  /// least one token is always prefilled (the first generated token comes
+  /// from its readout). Peek only — no refcounts or counters move.
+  std::size_t prefix_match_tokens(
+      std::span<const std::int32_t> prompt) const;
+
+  /// Maps the longest feasible cached prefix of `prompt` into sequence
+  /// `id`'s KV cache and advances its position past the reused tokens.
+  /// Returns the tokens reused; the caller prefills only the suffix.
+  /// Must run on a fresh sequence (kWaiting, position 0), before
+  /// begin_prefill(). No-op (0) when the cache is disabled.
+  std::size_t attach_prefix(SequenceId id,
+                            std::span<const std::int32_t> prompt);
+
+  /// Shares sequence `id`'s KV pages for `tokens` — which must be its
+  /// PREFILL-produced prefix (prompt/replay feed up to the prefilled
+  /// position), never decode-produced tokens, whose K/V differ numerically
+  /// from a prefill of the same ids — into the prefix cache. Call at
+  /// terminal/preemption points, after the last append and before
+  /// release_sequence(). No-op when disabled.
+  void insert_prefix(SequenceId id, std::span<const std::int32_t> tokens);
+
+  /// Evicts prefix-cache entries until ~`target_pages` pages returned to
+  /// the pools (see PrefixCache::reclaim). Returns pages actually freed;
+  /// 0 when the cache is disabled.
+  std::size_t reclaim_prefix_pages(std::size_t target_pages);
+
+  /// Page references the prefix cache holds (0 when disabled) — the
+  /// intentional steady-state occupancy admission and audit-quiescence
+  /// checks must discount.
+  std::size_t prefix_cache_pages_held() const;
+
+  /// Null when EngineConfig::enable_prefix_cache is off.
+  const kv::PrefixCache* prefix_cache() const noexcept {
+    return prefix_cache_.get();
+  }
+
   /// Upper bound on new pages one decode step of one sequence can allocate
   /// (every head crosses a page boundary at once, since token counts are
   /// uniform across heads).
@@ -198,6 +257,13 @@ class Engine {
   /// Recomputes the selector run/reuse totals from all live sequences.
   void refresh_selector_stats();
 
+  /// Mirrors PrefixCacheStats into stats_ (no-op when disabled).
+  void refresh_prefix_stats();
+
+  /// (Re)builds the prefix cache for the current head partition; any
+  /// partition change invalidates every cached page set.
+  void rebuild_prefix_cache();
+
   attn::FusedPrefillConfig prefill_config(std::size_t n_tokens) const;
   attn::FusedDecodeConfig decode_config() const;
 
@@ -209,6 +275,9 @@ class Engine {
   model::Transformer tf_;
   kv::PageAllocator dense_alloc_;
   kv::PageAllocator stream_alloc_;
+  /// Declared after the allocators (destroyed first) so its destructor can
+  /// still release the page references it holds.
+  std::unique_ptr<kv::PrefixCache> prefix_cache_;
   std::vector<kv::HeadKind> head_kinds_;
   std::size_t dense_slots_ = 0;   ///< dense entries in head_kinds_.
   std::size_t stream_slots_ = 0;  ///< streaming entries in head_kinds_.

@@ -31,7 +31,10 @@ Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
     pool_ = std::make_unique<ThreadPool>(cfg_.decode_threads);
   }
 #if LSERVE_AUDIT_ENABLED
-  audit_baseline_pages_ = engine_.total_pages_in_use();
+  // Pages the prefix cache holds are intentional steady-state occupancy,
+  // not a leak; the quiescence check discounts them on both sides.
+  audit_baseline_pages_ =
+      engine_.total_pages_in_use() - engine_.prefix_cache_pages_held();
 #endif
 }
 
@@ -182,12 +185,32 @@ void Scheduler::finish(Pending pend, std::vector<std::int32_t> output,
   live_ids_.erase(id);
 }
 
+void Scheduler::insert_prefix(const Running& run) {
+  // Only the PREFILLED extent is attachable prefix: feed() tokens up to
+  // the sequence position (all of them once prefill completed, a prefix
+  // when preempted/cancelled mid-prefill). Tokens appended during decode
+  // are deliberately excluded — the sparse decode path writes numerically
+  // different K/V than a prefill of the same token would (different
+  // sparsity policy feeds different hidden states at deeper layers), so
+  // caching them would break bit-exactness against a cold prefill. A
+  // finished turn's reply becomes cacheable on the NEXT turn, when it is
+  // part of that request's prefilled prompt.
+  const std::size_t position = engine_.sequence(run.seq).position;
+  const std::size_t prefilled = std::min(position, run.pend.feed().size());
+  if (prefilled == 0) return;
+  engine_.insert_prefix(
+      run.seq, std::span<const std::int32_t>(run.pend.feed().data(),
+                                             prefilled));
+}
+
 void Scheduler::terminate_running(std::size_t slot, RequestStatus status) {
   Running run = std::move(running_[slot]);
   running_[slot] = std::move(running_.back());
   running_.pop_back();
   // Pages are reclaimed exactly like preemption, but the request is
-  // terminal instead of re-queued.
+  // terminal instead of re-queued. Its KV is still valid prefix state —
+  // insert it into the prefix cache before the release frees it.
+  insert_prefix(run);
   engine_.sequence(run.seq).phase = SequencePhase::kCancelled;
   engine_.release_sequence(run.seq);
   // Mid-prefill after a preemption the restored output still lives in
@@ -267,10 +290,14 @@ void Scheduler::admit() {
     // an over-budget request runs solo instead of deadlocking the queue.
     const Pending& front = waiting_.front();
     if (cfg_.page_budget > 0 && !running_.empty()) {
+      // A prefix-cache hit's footprint counts only the uncached suffix:
+      // the shared pages are already in pool occupancy, so the budget
+      // admits more concurrent sequences under the same ceiling.
+      const std::size_t cached = engine_.prefix_match_tokens(front.feed());
       const std::size_t need =
           engine_
-              .estimate_request_pages(front.req.prompt.size() +
-                                      front.req.max_new_tokens)
+              .estimate_request_pages(
+                  front.req.prompt.size() + front.req.max_new_tokens, cached)
               .total();
       // Reserve one step of worst-case decode growth for the sequences
       // already running — the same term preempt_for_memory() enforces —
@@ -286,14 +313,33 @@ void Scheduler::admit() {
       const std::size_t headroom = decoding * engine_.decode_step_page_bound();
       if (engine_.total_pages_in_use() + headroom + need >
           cfg_.page_budget) {
-        ++stats_.deferred_admissions;
-        break;
+        // Before deferring, try to make room out of the prefix cache:
+        // evicting unreferenced cache entries is strictly cheaper than
+        // stalling admission.
+        const std::size_t deficit = engine_.total_pages_in_use() + headroom +
+                                    need - cfg_.page_budget;
+        engine_.reclaim_prefix_pages(deficit);
+        if (engine_.total_pages_in_use() + headroom + need >
+            cfg_.page_budget) {
+          ++stats_.deferred_admissions;
+          break;
+        }
       }
     }
     Running run;
     run.pend = std::move(waiting_.front());
     waiting_.pop_front();
     run.seq = engine_.create_sequence();
+    // Attach the cached prefix (no-op without a prefix cache): prefill
+    // resumes at the first uncached token, which is what turns a shared
+    // prefix into a TTFT win.
+    const std::size_t attached =
+        engine_.attach_prefix(run.seq, run.pend.feed());
+    run.prefill_pos = attached;
+    if (attached > 0) {
+      ++stats_.prefix_hits;
+      stats_.prefix_tokens_reused += attached;
+    }
     engine_.begin_prefill(run.seq, run.pend.feed().size());
     run.phase = SequencePhase::kPrefilling;
     run.admit_order = admit_counter_++;
@@ -346,6 +392,11 @@ void Scheduler::preempt(std::size_t slot) {
   Running run = std::move(running_[slot]);
   running_[slot] = std::move(running_.back());
   running_.pop_back();
+  // Insert before release: the re-admission's "recompute" prefill then
+  // attaches this very KV back and recomputes almost nothing. (The cache
+  // may in turn evict these entries if memory stays tight — attach is an
+  // opportunity, not a reservation.)
+  insert_prefix(run);
   engine_.sequence(run.seq).phase = SequencePhase::kPreempted;
   engine_.release_sequence(run.seq);
 
@@ -385,6 +436,15 @@ void Scheduler::preempt_for_memory() {
     // guarantees forward progress and a completing drain()).
     if (engine_.total_pages_in_use() + decoding * bound <=
         cfg_.page_budget) {
+      return;
+    }
+    // Prefix-cache entries nobody references are the cheapest memory to
+    // reclaim — evict them before sacrificing a running sequence's work.
+    const std::size_t excess =
+        engine_.total_pages_in_use() + decoding * bound - cfg_.page_budget;
+    if (engine_.reclaim_prefix_pages(excess) > 0 &&
+        engine_.total_pages_in_use() + decoding * bound <=
+            cfg_.page_budget) {
       return;
     }
     std::size_t victim = 0;
@@ -462,6 +522,9 @@ bool Scheduler::step() {
     Running& run = running_[i];
     if (run.phase == SequencePhase::kDecoding &&
         run.output.size() >= run.pend.req.max_new_tokens) {
+      // The finished conversation turn is tomorrow's shared prefix: insert
+      // before release so the cache inherits the pages instead of the pool.
+      insert_prefix(run);
       engine_.sequence(run.seq).phase = SequencePhase::kFinished;
       engine_.release_sequence(run.seq);
       Running done = std::move(run);
@@ -488,12 +551,15 @@ std::vector<RequestResult> Scheduler::drain() {
   // Quiescence check the static layers cannot express: every page
   // admitted since construction must be back in the pool. On a leak the
   // auditor names the owning sequence, allocation site and thread.
-  if (engine_.total_pages_in_use() != audit_baseline_pages_) {
+  if (engine_.total_pages_in_use() - engine_.prefix_cache_pages_held() !=
+      audit_baseline_pages_) {
     const std::string report = engine_.audit_report();
     std::fprintf(stderr,
                  "[lserve page audit] scheduler drained but %zu pages are "
-                 "still in use (baseline %zu); live pages:\n%s",
-                 engine_.total_pages_in_use(), audit_baseline_pages_,
+                 "still in use (%zu held by the prefix cache, baseline %zu); "
+                 "live pages:\n%s",
+                 engine_.total_pages_in_use(),
+                 engine_.prefix_cache_pages_held(), audit_baseline_pages_,
                  report.c_str());
     std::abort();
   }

@@ -25,6 +25,15 @@
 // budget still runs solo (the pool grows on demand), and the last running
 // sequence is never preempted.
 //
+// Prefix cache (when the engine enables it): admission peeks the cache so
+// a hit's footprint counts only the uncached suffix, every admitted
+// request attaches the cached prefix and prefills just the remainder, and
+// every release point (finish / preempt / cancel) inserts the sequence's
+// KV into the cache before its pages return to the pool — so a preempted
+// request's re-prefill is itself usually a cache hit. Under budget
+// pressure the scheduler evicts unreferenced cache entries before it
+// resorts to deferring admission or preempting a running sequence.
+//
 // Streaming & cancellation (the serving front-end surface): each request
 // may carry an on_token callback, invoked as each decode step commits (a
 // preempted-and-replayed request never re-delivers: on_token always sees a
@@ -139,6 +148,10 @@ struct SchedulerStats {
   std::size_t prefill_chunks = 0;       ///< chunks scheduled (≤ 1 per step).
   std::size_t cancelled = 0;            ///< requests ended by cancel().
   std::size_t deadline_exceeded = 0;    ///< requests ended by deadline.
+  std::size_t prefix_hits = 0;          ///< admissions that attached a
+                                        ///< cached prefix.
+  std::size_t prefix_tokens_reused = 0;  ///< prompt tokens skipped at
+                                         ///< admission via the prefix cache.
 };
 
 /// FCFS continuous-batching scheduler over one Engine.
@@ -251,6 +264,12 @@ class Scheduler {
   void advance_prefill();
   void preempt_for_memory();
   void preempt(std::size_t slot);
+  /// Shares `run`'s KV into the engine's prefix cache (everything fed so
+  /// far: feed() up to the sequence position, then generated tokens).
+  /// Called at every release point — finish, preemption, cancel/deadline —
+  /// before the sequence's pages go back to the pool. No-op when the
+  /// engine has no prefix cache.
+  void insert_prefix(const Running& run);
   /// Moves queued submissions/cancellations into waiting_/this step's
   /// cancel list (the only place scheduler state meets the inbox lock).
   void drain_inboxes(std::vector<std::pair<std::uint64_t, RequestStatus>>&

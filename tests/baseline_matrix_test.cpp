@@ -113,13 +113,15 @@ TEST(BaselineMatrix, MemoryOrderingReflectsPrecisionAndEviction) {
 }
 
 TEST(BaselineMatrix, SameSubstrateSameWeights) {
-  // All presets share the transformer: with sparsity coverage (short
-  // prompt), vLLM and QServe (dense attention, different KV precision)
-  // agree on the first generated token — quantization noise is the only
-  // difference and the readout is robust to it at this scale.
+  // All presets share the transformer: vLLM and Quest both run fp16 dense
+  // causal prefill (Quest differs only in decode-time page pruning), so
+  // the first generated token must agree bit for bit. QServe is excluded
+  // on purpose: prefill attention reads the round-tripped quantized KV
+  // (what any later reader loads), so int4 presets feel quantization
+  // already at prefill and need not match fp16 token-for-token.
   const model::ModelConfig m = model::tiny();
   serve::Engine a(scaled(baselines::vllm_config(m)));
-  serve::Engine b(scaled(baselines::qserve_config(m)));
+  serve::Engine b(scaled(baselines::quest_config(m)));
   std::vector<std::int32_t> ids(24);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     ids[i] = static_cast<std::int32_t>((5 * i + 1) % 251);
