@@ -45,7 +45,8 @@ int main() {
                                      /*max_batch=*/4,
                                      /*decode_threads=*/1,
                                      /*page_budget=*/0,
-                                     /*default_deadline_steps=*/0});
+                                     /*default_deadline_steps=*/0,
+                                     /*policy=*/nullptr});
 
   // 1. Streamed generation: tokens arrive via on_token as they commit.
   std::printf("streaming a 12-token generation:\n  tokens:");

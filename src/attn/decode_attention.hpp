@@ -23,6 +23,13 @@ namespace lserve::attn {
 struct DecodeWorkStats {
   std::size_t pages_visited = 0;
   std::size_t tokens_visited = 0;
+  /// Attention-policy routing telemetry, filled by the serving engine per
+  /// decode step (never by the kernel): steps that ran full-context dense
+  /// reads vs the configured sparse-capable pipeline. Lives in this
+  /// scratch so the engine's ordered post-join merge keeps the counters
+  /// bit-identical across decode thread counts.
+  std::size_t dense_route_steps = 0;
+  std::size_t sparse_route_steps = 0;
 };
 
 /// Sparse decode for one head.

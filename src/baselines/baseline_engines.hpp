@@ -20,6 +20,9 @@
 // and benches override fields for scaled-down geometries.
 #pragma once
 
+#include <memory>
+
+#include "costmodel/gpu_spec.hpp"
 #include "serve/engine.hpp"
 
 namespace lserve::baselines {
@@ -33,5 +36,20 @@ serve::EngineConfig minference_config(const model::ModelConfig& m);
 
 /// Names every preset for bench table headers, in the order above.
 const char* preset_name(int idx);
+
+/// The preset as a policy object: a static run-as-configured route named
+/// after preset `idx` (the order above). Presets without dynamic decode
+/// route kSparse too — for them the routes coincide, so "as configured"
+/// is the faithful policy translation of every config blob.
+std::shared_ptr<const serve::AttentionPolicy> preset_policy(int idx);
+
+/// LServe's cost-model gate for `cfg` served on `spec` at decode batch
+/// `batch`: dense attention below the modeled sparse-vs-dense crossover,
+/// the configured hybrid pipeline at or past it. Convenience wrapper over
+/// serve::make_cost_model_gated_policy for bench/test call sites that
+/// already hold a preset config.
+std::shared_ptr<const serve::CostModelGatedPolicy> gated_policy(
+    const serve::EngineConfig& cfg, const cost::GpuSpec& spec,
+    std::size_t batch);
 
 }  // namespace lserve::baselines

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
 
 #include "costmodel/kernel_cost.hpp"
+#include "serve/thread_annotations.hpp"
 
 namespace lserve::cost {
 
@@ -182,6 +186,95 @@ StageBreakdown decode_step_cost(const GpuSpec& spec,
   total.selector_us = layer.selector_us * L;
   total.other_us = layer.other_us * L;
   return total;
+}
+
+ServingPolicy dense_decode_variant(const ServingPolicy& p) noexcept {
+  ServingPolicy dense = p;
+  dense.dynamic_decode = false;
+  return dense;
+}
+
+namespace {
+
+/// Memo table for crossover_tokens(). The key folds in every spec, model,
+/// policy and batch field the decode cost depends on; the gate queries
+/// this once per decode step, so lookups must be cheap and thread-safe
+/// (decode_batch may run the gate from pool workers).
+struct CrossoverCache {
+  Mutex mu;
+  std::unordered_map<std::string, std::size_t> memo GUARDED_BY(mu);
+};
+
+CrossoverCache& crossover_cache() {
+  static CrossoverCache cache;
+  return cache;
+}
+
+std::string crossover_key(const GpuSpec& spec, const model::ModelConfig& m,
+                          const ServingPolicy& p, std::size_t batch) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%.6g/%.6g/%.6g/%.6g/%.6g/%.6g/%.6g|%zu/%zu/%zu/%zu/%zu|"
+      "%d/%zu/%zu/%.6g/%zu/%zu/%d/%zu/%zu/%d/%d|%zu",
+      spec.hbm_bw_gbps, spec.fp16_tflops, spec.int8_tops,
+      spec.launch_overhead_us, spec.page_gap_bytes, spec.attn_bw_frac,
+      spec.dequant_penalty, m.layers, m.q_heads, m.kv_heads, m.head_dim,
+      m.ffn_hidden, static_cast<int>(p.kv_dtype), p.page_size,
+      p.logical_page_size, p.streaming_fraction, p.sink_tokens,
+      p.local_tokens, p.dynamic_decode ? 1 : 0, p.token_budget,
+      p.reuse_interval, p.skip_selector_when_covered ? 1 : 0, p.weight_bits,
+      batch);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::size_t crossover_tokens(const GpuSpec& spec, const model::ModelConfig& m,
+                             const ServingPolicy& p, std::size_t batch) {
+  if (!p.dynamic_decode) return kNoCrossover;  // nothing to gate.
+  const std::string key = crossover_key(spec, m, p, batch);
+  {
+    MutexLock lock(crossover_cache().mu);
+    const auto it = crossover_cache().memo.find(key);
+    if (it != crossover_cache().memo.end()) return it->second;
+  }
+
+  const ServingPolicy dense = dense_decode_variant(p);
+  const auto sparse_wins = [&](std::size_t seq_len) {
+    return decode_step_cost(spec, m, p, seq_len, batch).total_us() <
+           decode_step_cost(spec, m, dense, seq_len, batch).total_us();
+  };
+
+  // Below the budget selection reads the same tokens as dense (plus a
+  // possible scoring pass), so sparse cannot strictly win there; past it
+  // the dense-minus-sparse gap is non-decreasing in seq_len (full-context
+  // reads grow faster than the amortized selector). Gallop for an upper
+  // bracket, then binary-search the first strict win.
+  constexpr std::size_t kSearchBound = std::size_t{1} << 22;
+  std::size_t lo = std::max<std::size_t>(1, p.token_budget);
+  std::size_t hi = lo;
+  std::size_t result = kNoCrossover;
+  while (hi < kSearchBound && !sparse_wins(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi < kSearchBound || sparse_wins(hi)) {
+    // Invariant: !sparse_wins(lo), sparse_wins(hi).
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (sparse_wins(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    result = hi;
+  }
+
+  MutexLock lock(crossover_cache().mu);
+  crossover_cache().memo.emplace(key, result);
+  return result;
 }
 
 StageBreakdown prefill_cost(const GpuSpec& spec, const model::ModelConfig& m,

@@ -82,4 +82,25 @@ std::size_t dense_head_kv_tokens(const ServingPolicy& p,
 std::size_t streaming_head_kv_tokens(const ServingPolicy& p,
                                      std::size_t seq_len) noexcept;
 
+/// `p` with decode-stage page pruning disabled: dense heads read the full
+/// context and no selector runs. The streaming-head split is untouched —
+/// it is a storage policy (evicted pages are gone), not a per-step choice,
+/// so this is exactly the "dense route" a runtime gate can flip to.
+ServingPolicy dense_decode_variant(const ServingPolicy& p) noexcept;
+
+/// Sentinel for crossover_tokens(): sparse decode never strictly beats
+/// dense within the search bound (e.g. p.dynamic_decode is false).
+inline constexpr std::size_t kNoCrossover = static_cast<std::size_t>(-1);
+
+/// Smallest context length (tokens) at which one decode step under `p`
+/// (dynamic page selection active) is strictly cheaper than under
+/// dense_decode_variant(p). Below the token budget selection reads the
+/// same tokens as dense, so the crossover always lands past the budget,
+/// where the selector's amortized scoring pass costs less than the extra
+/// full-context KV reads it prunes. Results are memoized per
+/// (spec, model, policy, batch) — the per-step gate's repeated queries
+/// are table lookups (thread-safe).
+std::size_t crossover_tokens(const GpuSpec& spec, const model::ModelConfig& m,
+                             const ServingPolicy& p, std::size_t batch);
+
 }  // namespace lserve::cost

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "numeric/quant.hpp"
+
 namespace lserve::kv {
 
 KStats::KStats(std::size_t logical_pages, std::size_t head_dim)
@@ -28,6 +30,16 @@ void KStats::update(std::size_t slot, std::size_t logical_page_size,
     mn[i] = std::min(mn[i], key[i]);
     mx[i] = std::max(mx[i], key[i]);
   }
+}
+
+void KStats::update_quantized(std::size_t slot, std::size_t logical_page_size,
+                              const num::QuantizedRows& keys) noexcept {
+  const std::size_t j = slot / logical_page_size;
+  assert(j < logical_pages_);
+  assert(keys.dim() == head_dim_);
+  keys.fold_row_minmax(slot, kmin_.data() + j * head_dim_,
+                       kmax_.data() + j * head_dim_, !init_[j]);
+  init_[j] = 1;
 }
 
 void KStats::reset() noexcept {

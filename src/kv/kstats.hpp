@@ -13,6 +13,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace lserve::num {
+class QuantizedRows;
+}  // namespace lserve::num
+
 namespace lserve::kv {
 
 /// Channel-wise min/max key statistics for the logical pages of one
@@ -31,6 +35,15 @@ class KStats {
   /// the logical page that owns that slot (`slot / logical_page_size`).
   void update(std::size_t slot, std::size_t logical_page_size,
               const float* key) noexcept;
+
+  /// Same fold, but derived straight from the quantized storage of row
+  /// `slot` in `keys`: each channel is decoded from the stored codes and
+  /// per-row (scale, zero_point) instead of recomputing over a
+  /// materialized dequantized copy — the quest-style metadata-from-
+  /// quant-params path (ROADMAP item 5). Bit-identical to
+  /// load_row + update() for every dtype.
+  void update_quantized(std::size_t slot, std::size_t logical_page_size,
+                        const num::QuantizedRows& keys) noexcept;
 
   /// kmax vector of logical page j (length head_dim).
   const float* kmax(std::size_t j) const noexcept {

@@ -28,15 +28,9 @@ std::size_t Page::append(const float* key, const float* value) noexcept {
   values_.store_row(slot, value);
   if (cfg_.track_kstats) {
     // Stats fold the *quantized* key so selector decisions match what the
-    // sparse kernel will actually read back.
-    if (cfg_.dtype == num::KvDtype::kFp16) {
-      stats_.update(slot, cfg_.logical_page_size, key);
-    } else {
-      float deq[1024];
-      assert(cfg_.head_dim <= 1024);
-      keys_.load_row(slot, deq);
-      stats_.update(slot, cfg_.logical_page_size, deq);
-    }
+    // sparse kernel will actually read back — derived straight from the
+    // stored codes + per-row quant params, no dequantized scratch copy.
+    stats_.update_quantized(slot, cfg_.logical_page_size, keys_);
   }
   return slot;
 }
@@ -62,14 +56,11 @@ void Page::copy_prefix_from(const Page& src, std::size_t n) noexcept {
   values_.copy_rows_from(src.values_, n);
   count_ = n;
   if (cfg_.track_kstats) {
-    // Same fold as append(): stats over the dequantized (or raw fp) key rows,
-    // replayed slot by slot so the result matches an append-built page.
+    // Same fold as append(), replayed slot by slot over the copied codes
+    // so the result matches an append-built page bit for bit.
     stats_.reset();
-    float deq[1024];
-    assert(cfg_.head_dim <= 1024);
     for (std::size_t slot = 0; slot < n; ++slot) {
-      keys_.load_row(slot, deq);
-      stats_.update(slot, cfg_.logical_page_size, deq);
+      stats_.update_quantized(slot, cfg_.logical_page_size, keys_);
     }
   }
 }

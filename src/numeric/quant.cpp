@@ -160,6 +160,44 @@ void QuantizedRows::load_row(std::size_t r, float* out) const noexcept {
   }
 }
 
+void QuantizedRows::fold_row_minmax(std::size_t r, float* mn, float* mx,
+                                    bool first) const noexcept {
+  assert(r < rows_);
+  const auto fold = [&](std::size_t i, float x) {
+    if (first) {
+      mn[i] = x;
+      mx[i] = x;
+    } else {
+      mn[i] = std::min(mn[i], x);
+      mx[i] = std::max(mx[i], x);
+    }
+  };
+  switch (dtype_) {
+    case KvDtype::kFp16: {
+      const float* row = fp_.data() + r * dim_;
+      for (std::size_t i = 0; i < dim_; ++i) fold(i, row[i]);
+      break;
+    }
+    case KvDtype::kInt8: {
+      const std::uint8_t* codes = codes_.data() + r * row_bytes_;
+      const QuantParams p = params_[r];
+      for (std::size_t i = 0; i < dim_; ++i) fold(i, decode(codes[i], p));
+      break;
+    }
+    case KvDtype::kInt4: {
+      const std::uint8_t* codes = codes_.data() + r * row_bytes_;
+      const QuantParams p = params_[r];
+      const std::size_t pairs = dim_ / 2;
+      for (std::size_t i = 0; i < pairs; ++i) {
+        fold(2 * i, decode(codes[i] & 0x0F, p));
+        fold(2 * i + 1, decode(codes[i] >> 4, p));
+      }
+      if (dim_ & 1) fold(dim_ - 1, decode(codes[pairs] & 0x0F, p));
+      break;
+    }
+  }
+}
+
 void QuantizedRows::copy_rows_from(const QuantizedRows& src,
                                    std::size_t n) noexcept {
   assert(n <= rows_ && n <= src.rows_);

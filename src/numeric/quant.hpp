@@ -74,6 +74,15 @@ class QuantizedRows {
   /// Dequantizes slot r into `out` (length dim).
   void load_row(std::size_t r, float* out) const noexcept;
 
+  /// Channel-wise min/max fold of row r straight from the stored codes and
+  /// per-row (scale, zero_point) — no dequantized copy of the row is
+  /// materialized. Each channel is decoded with the same expression
+  /// load_row uses, so the folded values are bit-identical to
+  /// dequantize-then-fold (pinned by PageTest.QuantDerivedKStats).
+  /// `first` seeds mn/mx from the row instead of folding into them.
+  void fold_row_minmax(std::size_t r, float* mn, float* mx,
+                       bool first) const noexcept;
+
   /// Copies the first `n` rows of `src` (same geometry and dtype) verbatim
   /// — quantized codes and per-row params, no dequant/requant round trip —
   /// so the copy is bit-identical to the source. Prefix-cache COW path.

@@ -1,0 +1,55 @@
+#include "serve/attention_policy.hpp"
+
+#include "costmodel/pipeline_cost.hpp"
+#include "serve/engine.hpp"
+
+namespace lserve::serve {
+
+const char* to_string(AttentionRoute route) noexcept {
+  switch (route) {
+    case AttentionRoute::kDense:
+      return "dense";
+    case AttentionRoute::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+std::shared_ptr<const AttentionPolicy> always_sparse_policy() {
+  static const auto policy = std::make_shared<const StaticAttentionPolicy>(
+      "always-sparse", AttentionRoute::kSparse);
+  return policy;
+}
+
+std::shared_ptr<const AttentionPolicy> always_dense_policy() {
+  static const auto policy = std::make_shared<const StaticAttentionPolicy>(
+      "always-dense", AttentionRoute::kDense);
+  return policy;
+}
+
+cost::ServingPolicy cost_policy_from(const EngineConfig& cfg) {
+  cost::ServingPolicy p;
+  p.kv_dtype = cfg.dense_pages.dtype;
+  p.page_size = cfg.dense_pages.page_size;
+  p.logical_page_size = cfg.dense_pages.logical_page_size != 0
+                            ? cfg.dense_pages.logical_page_size
+                            : cfg.dense_pages.page_size;
+  p.streaming_fraction = cfg.streaming_fraction;
+  p.sink_tokens = cfg.streaming.sink_tokens;
+  p.local_tokens = cfg.streaming.local_tokens;
+  p.dynamic_decode = cfg.dynamic_decode;
+  p.token_budget = cfg.selector.token_budget;
+  p.reuse_interval = cfg.reuse_interval;
+  p.dynamic_prefill = cfg.dynamic_prefill;
+  return p;
+}
+
+std::shared_ptr<const CostModelGatedPolicy> make_cost_model_gated_policy(
+    const cost::GpuSpec& spec, const EngineConfig& cfg, std::size_t batch) {
+  const std::size_t crossover =
+      cost::crossover_tokens(spec, cfg.model, cost_policy_from(cfg), batch);
+  return std::make_shared<const CostModelGatedPolicy>(
+      "gated(" + spec.name + ")", crossover);
+}
+
+}  // namespace lserve::serve

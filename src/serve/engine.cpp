@@ -34,7 +34,8 @@ Engine::Engine(EngineConfig cfg)
       }()),
       tf_(cfg_.model, cfg_.seed),
       dense_alloc_(cfg_.dense_pages, cfg_.pool_pages),
-      stream_alloc_(make_stream_pages(cfg_.dense_pages), cfg_.pool_pages) {
+      stream_alloc_(make_stream_pages(cfg_.dense_pages), cfg_.pool_pages),
+      policy_(cfg_.policy) {
   // Default partition: deterministic round-robin at streaming_fraction.
   // calibrate_head_kinds() or set_head_kinds() refine this.
   const std::size_t slots = cfg_.model.layers * cfg_.model.kv_heads;
@@ -181,9 +182,13 @@ attn::FusedPrefillConfig Engine::prefill_config(std::size_t n_tokens) const {
   return pc;
 }
 
-attn::FusedDecodeConfig Engine::decode_config() const {
+attn::FusedDecodeConfig Engine::decode_config(AttentionRoute route) const {
   attn::FusedDecodeConfig dc;
-  dc.dynamic_dense = cfg_.dynamic_decode;
+  // The route's only lever: dense-head page pruning. kDense forces the
+  // full page table; kSparse runs whatever the config asks for. The
+  // streaming-head split is storage-level and never gated.
+  dc.dynamic_dense =
+      cfg_.dynamic_decode && route == AttentionRoute::kSparse;
   dc.hierarchical = cfg_.hierarchical;
   dc.selector = cfg_.selector;
   return dc;
@@ -239,11 +244,12 @@ void Engine::forward_prefill(Sequence& seq, num::Tensor& hidden,
 }
 
 void Engine::forward_decode(Sequence& seq, num::Tensor& hidden,
+                            AttentionRoute route,
                             attn::DecodeWorkStats& work) {
   const std::size_t h = cfg_.model.hidden();
   const std::size_t kvd = cfg_.model.kv_dim();
   const std::size_t d = cfg_.model.head_dim;
-  const attn::FusedDecodeConfig dc = decode_config();
+  const attn::FusedDecodeConfig dc = decode_config(route);
 
   num::Tensor normed(1, h);
   num::Tensor q(1, h);
@@ -323,7 +329,18 @@ std::int32_t Engine::decode_one(Sequence& seq, std::int32_t token,
   assert(seq.phase == SequencePhase::kDecoding);
   const std::int32_t ids[1] = {token};
   num::Tensor hidden = tf_.embed(ids);
-  forward_decode(seq, hidden, work);
+  // The step's attention spans position + 1 tokens (history plus the
+  // token appended below). The route is a pure function of that length,
+  // so it is identical across decode threads and preemption replay.
+  const AttentionRoute route =
+      policy_ == nullptr ? AttentionRoute::kSparse
+                         : policy_->route(seq.position + 1);
+  if (route == AttentionRoute::kDense) {
+    ++work.dense_route_steps;
+  } else {
+    ++work.sparse_route_steps;
+  }
+  forward_decode(seq, hidden, route, work);
   seq.position += 1;
   ++seq.decode_step;
   const std::int32_t next = tf_.readout_argmax(hidden.row(0));
@@ -369,6 +386,8 @@ std::vector<std::int32_t> Engine::decode_batch(
   for (const auto& w : work) {
     stats_.pages_visited += w.pages_visited;
     stats_.tokens_visited += w.tokens_visited;
+    stats_.decode_dense_steps += w.dense_route_steps;
+    stats_.decode_sparse_steps += w.sparse_route_steps;
     ++stats_.decode_steps;
   }
   refresh_selector_stats();

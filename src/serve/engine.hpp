@@ -18,6 +18,7 @@
 #include "kv/prefix_cache.hpp"
 #include "model/model_config.hpp"
 #include "model/transformer.hpp"
+#include "serve/attention_policy.hpp"
 #include "serve/sequence.hpp"
 #include "sparse/head_classifier.hpp"
 
@@ -60,6 +61,11 @@ struct EngineConfig {
   /// Page budget of the prefix tree (0 = unbounded); insert-time LRU
   /// eviction keeps the tree at or under this.
   std::size_t prefix_cache_pages = 0;
+
+  /// Per-step decode routing (serve/attention_policy.hpp). Null = run as
+  /// configured (the kSparse route) — bit-identical to the pre-policy
+  /// engine. Swappable at runtime via Engine::set_attention_policy().
+  std::shared_ptr<const AttentionPolicy> policy;
 };
 
 /// Worst-case page-pool demand of a request, split by pool. Computed from
@@ -75,6 +81,11 @@ struct PageDemand {
 struct EngineStats {
   std::size_t prefill_tokens = 0;
   std::size_t decode_steps = 0;
+  /// Attention-policy gating decisions: decode steps routed to full-context
+  /// dense reads vs the configured (sparse-capable) pipeline. They sum to
+  /// decode_steps; with no policy attached every step counts as sparse.
+  std::size_t decode_dense_steps = 0;
+  std::size_t decode_sparse_steps = 0;
   std::size_t pages_visited = 0;   ///< decode attention page iterations.
   std::size_t tokens_visited = 0;  ///< decode attention token iterations.
   std::size_t selector_runs = 0;
@@ -103,6 +114,18 @@ class Engine {
 
   /// Overrides the offline head partition ([layers x kv_heads] row-major).
   void set_head_kinds(std::vector<kv::HeadKind> kinds);
+
+  /// Swaps the decode routing policy (null = run as configured). Takes
+  /// effect at the next decode step; safe between decode_batch calls, not
+  /// during one. Route flips mid-sequence are safe: the reusable selector
+  /// re-scores whenever its cached chunk goes stale, so a sparse step
+  /// after a dense stretch never reads stale page choices.
+  void set_attention_policy(std::shared_ptr<const AttentionPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+  const AttentionPolicy* attention_policy() const noexcept {
+    return policy_.get();
+  }
 
   /// Runs the synthetic-calibration gate measurement (DESIGN.md §2) and
   /// re-partitions heads at cfg.streaming_fraction. Returns the gates.
@@ -243,11 +266,11 @@ class Engine {
   /// mode, appending K/V to `seq`'s caches. `pos0` is the absolute position
   /// of row 0.
   void forward_prefill(Sequence& seq, num::Tensor& hidden, std::size_t pos0);
-  /// One transformer forward in decode mode. Work counters go to `work`,
-  /// never to stats_ — callers merge, so concurrent decode_one calls on
-  /// distinct sequences are race-free.
+  /// One transformer forward in decode mode, on the given attention
+  /// route. Work counters go to `work`, never to stats_ — callers merge,
+  /// so concurrent decode_one calls on distinct sequences are race-free.
   void forward_decode(Sequence& seq, num::Tensor& hidden,
-                      attn::DecodeWorkStats& work);
+                      AttentionRoute route, attn::DecodeWorkStats& work);
 
   /// Decodes one token for `seq` without touching stats_ (thread-safe for
   /// distinct sequences).
@@ -265,7 +288,7 @@ class Engine {
   void rebuild_prefix_cache();
 
   attn::FusedPrefillConfig prefill_config(std::size_t n_tokens) const;
-  attn::FusedDecodeConfig decode_config() const;
+  attn::FusedDecodeConfig decode_config(AttentionRoute route) const;
 
   /// Recounts dense_slots_/stream_slots_ from head_kinds_ (call after any
   /// partition change).
@@ -283,6 +306,10 @@ class Engine {
   std::size_t stream_slots_ = 0;  ///< streaming entries in head_kinds_.
   std::vector<std::unique_ptr<Sequence>> sequences_;
   EngineStats stats_;
+  /// Decode routing policy; null routes every step kSparse (as
+  /// configured). Read per decode step from pool workers — treat as
+  /// frozen during a decode_batch call.
+  std::shared_ptr<const AttentionPolicy> policy_;
 };
 
 }  // namespace lserve::serve

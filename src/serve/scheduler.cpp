@@ -25,10 +25,15 @@ const char* to_string(RequestStatus status) noexcept {
 }
 
 Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
-    : engine_(engine), cfg_(cfg) {
+    : engine_(engine), cfg_(std::move(cfg)) {
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
   if (cfg_.decode_threads != 1) {
     pool_ = std::make_unique<ThreadPool>(cfg_.decode_threads);
+  }
+  // The scheduler carries the policy handle to the engine; route choices
+  // themselves happen inside Engine::decode_batch, per step per sequence.
+  if (cfg_.policy != nullptr) {
+    engine_.set_attention_policy(cfg_.policy);
   }
 #if LSERVE_AUDIT_ENABLED
   // Pages the prefix cache holds are intentional steady-state occupancy,
@@ -43,7 +48,8 @@ Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
     : Scheduler(engine,
                 SchedulerConfig{max_batch, decode_threads,
                                 /*page_budget=*/0,
-                                /*default_deadline_steps=*/0}) {}
+                                /*default_deadline_steps=*/0,
+                                /*policy=*/nullptr}) {}
 
 std::uint64_t Scheduler::submit(Request req) {
   if (req.prompt.empty()) {

@@ -137,6 +137,12 @@ struct SchedulerConfig {
   /// Default Request::deadline_steps for requests that don't override it
   /// (0 = no default deadline).
   std::size_t default_deadline_steps = 0;
+  /// Decode routing policy installed on the engine at construction
+  /// (serve/attention_policy.hpp): per step and per sequence the engine
+  /// asks it whether dense heads read the full context or run the
+  /// configured dynamic selection. Null = leave the engine's current
+  /// policy alone (run-as-configured unless one was set directly).
+  std::shared_ptr<const AttentionPolicy> policy;
 };
 
 /// Cumulative scheduler telemetry.

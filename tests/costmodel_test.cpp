@@ -205,6 +205,82 @@ TEST(GpuSpecs, L40sIsBandwidthPoorerThanA100) {
   EXPECT_GT(tl, ta);
 }
 
+// ---------------------------------------------------------------------------
+// Properties behind the sparse-vs-dense gate (crossover_tokens): the
+// attention-policy layer trusts these shapes, so they are pinned here.
+
+TEST(Crossover, DecodeCostMonotoneInContextLength) {
+  // Longer context never gets cheaper, on either route — the galloping
+  // search in crossover_tokens assumes the dense-minus-sparse gap never
+  // collapses back once sparse wins.
+  const GpuSpec spec = a100();
+  for (const ServingPolicy& p : {lserve_policy(), vllm_policy(),
+                                 dense_decode_variant(lserve_policy())}) {
+    double prev = 0.0;
+    for (std::size_t seq = 512; seq <= (1u << 18); seq *= 2) {
+      const double t = decode_step_cost(spec, kLlama3, p, seq, 1).total_us();
+      EXPECT_GE(t, prev) << (p.dynamic_decode ? "sparse" : "dense")
+                         << " seq " << seq;
+      prev = t;
+    }
+  }
+}
+
+TEST(Crossover, SparseWinsExactlyFromTheCrossoverOn) {
+  const GpuSpec spec = a100();
+  const ServingPolicy p = lserve_policy();
+  const ServingPolicy d = dense_decode_variant(p);
+  const std::size_t x = crossover_tokens(spec, kLlama3, p, 1);
+  ASSERT_NE(x, kNoCrossover);
+  // Sparse cannot win while the budget covers the whole context: pruning
+  // reads the same tokens and still pays the selector.
+  EXPECT_GT(x, p.token_budget);
+  const auto sparse_us = [&](std::size_t s) {
+    return decode_step_cost(spec, kLlama3, p, s, 1).total_us();
+  };
+  const auto dense_us = [&](std::size_t s) {
+    return decode_step_cost(spec, kLlama3, d, s, 1).total_us();
+  };
+  // x is the *first* strict win.
+  EXPECT_LT(sparse_us(x), dense_us(x));
+  EXPECT_GE(sparse_us(x - 1), dense_us(x - 1));
+  // Beyond it sparse stays ahead and the gap widens (dense reads the full
+  // context; sparse reads the budget plus an amortized selector sweep).
+  double prev_gap = 0.0;
+  for (std::size_t s = x; s <= 8 * x; s *= 2) {
+    const double gap = dense_us(s) - sparse_us(s);
+    EXPECT_GE(gap, prev_gap) << "seq " << s;
+    prev_gap = gap;
+  }
+}
+
+TEST(Crossover, InvariantUnderGpuSpecScaling) {
+  // scaled(spec, k) multiplies every throughput by k and divides the
+  // launch overhead by k, so each roofline term divides by k and the
+  // sparse-vs-dense comparison — hence the crossover — is unchanged.
+  // Power-of-two factors keep the arithmetic bit-exact.
+  const ServingPolicy p = lserve_policy();
+  const std::size_t base = crossover_tokens(a100(), kLlama3, p, 1);
+  ASSERT_NE(base, kNoCrossover);
+  for (const double k : {0.5, 2.0, 8.0}) {
+    EXPECT_EQ(crossover_tokens(scaled(a100(), k), kLlama3, p, 1), base)
+        << "scale " << k;
+  }
+}
+
+TEST(Crossover, NoCrossoverWithoutDynamicDecode) {
+  // A policy with no selector has no sparse route to win: the gate pins
+  // dense (and the search is skipped entirely).
+  EXPECT_EQ(crossover_tokens(a100(), kLlama3, vllm_policy(), 1),
+            kNoCrossover);
+  EXPECT_EQ(crossover_tokens(a100(), kLlama3, duo_attention_policy(), 1),
+            kNoCrossover);
+  EXPECT_EQ(
+      crossover_tokens(a100(), kLlama3, dense_decode_variant(lserve_policy()),
+                       1),
+      kNoCrossover);
+}
+
 TEST(StreamingTokens, LambdaWindowIsPageRounded) {
   ServingPolicy p = lserve_policy();
   p.sink_tokens = 64;

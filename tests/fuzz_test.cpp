@@ -10,6 +10,7 @@
 #include "baselines/baseline_engines.hpp"
 #include "kv/two_way_cache.hpp"
 #include "numeric/rng.hpp"
+#include "policy_test_util.hpp"
 #include "serve/scheduler.hpp"
 #include "sparse/reusable_selector.hpp"
 
@@ -159,6 +160,58 @@ TEST(ReusableSelectorFuzz, ArbitraryStepPatternsNeverReturnStaleSlot) {
     ASSERT_EQ(table[0].page, static_cast<kv::PageId>(slot));
     // The cached chunk must match the queried step's chunk.
     ASSERT_EQ(table[0].block, static_cast<std::uint32_t>(step / 4));
+  }
+}
+
+TEST(PolicyFuzz, GatedFlipsUnderPressureNeverLeakPages) {
+  // Random schedules whose contexts straddle the cost-model crossover, so
+  // the route flips mid-decode and at the chunked-prefill→decode handoff
+  // (the two seeded edge requests end prefill 1 and 2 tokens short of the
+  // crossover), under a page budget tight enough to preempt — replayed
+  // sequences re-cross the threshold — with the prefix cache on for half
+  // the trials. Every drain must complete, exercise both routes, and
+  // return every page (LSERVE_AUDIT builds attribute any leak).
+  const auto gate = serve::policy_test::gated_policy();
+  const std::size_t cross = gate->crossover();
+  num::Rng rng(2025);
+  for (int trial = 0; trial < 6; ++trial) {
+    serve::EngineConfig ec = serve::policy_test::gated_cfg();
+    const bool cache = (trial % 2) == 1;
+    ec.enable_prefix_cache = cache;
+    if (cache) ec.prefix_cache_pages = 64;
+    serve::Engine engine(ec);
+    serve::SchedulerConfig sc;
+    sc.max_batch = 3;
+    sc.decode_threads = 1 + rng.next_below(4);
+    sc.page_budget = 40 + rng.next_below(24);
+    sc.policy = gate;
+    serve::Scheduler sched(engine, sc);
+    sched.submit(serve::policy_test::make_request(cross - 1,
+                                                  1 + rng.next_below(6)));
+    sched.submit(serve::policy_test::make_request(cross - 2,
+                                                  2 + rng.next_below(6)));
+    const std::size_t extra = 5 + rng.next_below(4);
+    for (std::size_t i = 0; i < extra; ++i) {
+      sched.submit(serve::policy_test::make_request(
+          cross - 20 + rng.next_below(40), 1 + rng.next_below(12)));
+    }
+    const auto results = sched.drain();
+    ASSERT_EQ(results.size(), extra + 2) << "trial " << trial;
+    for (const auto& r : results) {
+      ASSERT_GE(r.output.size(), 1u) << "trial " << trial;
+    }
+    // The workload genuinely crossed the threshold both ways.
+    EXPECT_GT(engine.stats().decode_dense_steps, 0u) << "trial " << trial;
+    EXPECT_GT(engine.stats().decode_sparse_steps, 0u) << "trial " << trial;
+    // Page conservation: after the drain only the prefix cache may retain
+    // pages, and a full reclaim returns those too.
+    EXPECT_EQ(engine.total_pages_in_use(), engine.prefix_cache_pages_held())
+        << "trial " << trial;
+    if (cache) {
+      engine.reclaim_prefix_pages(static_cast<std::size_t>(-1));
+    }
+    EXPECT_EQ(engine.total_pages_in_use(), 0u) << "trial " << trial;
+    EXPECT_EQ(engine.audit_report(), "") << "trial " << trial;
   }
 }
 

@@ -152,5 +152,60 @@ TEST(KStats, ResetClearsInitialization) {
   EXPECT_FALSE(stats.initialized(0));
 }
 
+// Regression pin for the quant-derived K_stats path (ROADMAP item 5
+// sliver): folding min/max straight from the stored codes + per-row quant
+// params must equal — bit for bit — the old recompute over a dequantized
+// copy of every key row, for every dtype, including an odd head_dim that
+// exercises the int4 tail nibble.
+TEST(Page, QuantDerivedKStatsMatchesDequantizedRecompute) {
+  for (const num::KvDtype dtype :
+       {num::KvDtype::kFp16, num::KvDtype::kInt8, num::KvDtype::kInt4}) {
+    for (const std::size_t d : {std::size_t{8}, std::size_t{7}}) {
+      PageConfig cfg = small_config(dtype);
+      cfg.head_dim = d;
+      Page page;
+      page.init(cfg);
+      num::Rng rng(11 + static_cast<std::uint64_t>(dtype));
+      KStats reference(cfg.logical_pages(), d);
+      std::vector<float> k(d), v(d), deq(d);
+      for (std::size_t t = 0; t < cfg.page_size; ++t) {
+        rng.fill_gaussian(k, 1.7f);
+        rng.fill_gaussian(v, 0.9f);
+        page.append(k.data(), v.data());
+        // The pre-derivation fold: dequantize the stored row, then update.
+        page.load_key(t, deq.data());
+        reference.update(t, cfg.logical_page_size, deq.data());
+      }
+      const KStats& derived = page.kstats();
+      for (std::size_t j = 0; j < cfg.logical_pages(); ++j) {
+        ASSERT_TRUE(derived.initialized(j));
+        for (std::size_t c = 0; c < d; ++c) {
+          // Exact equality, not near: the derivation must not change bits.
+          EXPECT_EQ(derived.kmin(j)[c], reference.kmin(j)[c])
+              << dtype_name(dtype) << " d=" << d << " j=" << j << " c=" << c;
+          EXPECT_EQ(derived.kmax(j)[c], reference.kmax(j)[c])
+              << dtype_name(dtype) << " d=" << d << " j=" << j << " c=" << c;
+        }
+      }
+      // The COW copy path rebuilds stats through the same derivation.
+      Page copy;
+      copy.init(cfg);
+      copy.copy_prefix_from(page, cfg.page_size / 2);
+      KStats half_ref(cfg.logical_pages(), d);
+      for (std::size_t t = 0; t < cfg.page_size / 2; ++t) {
+        copy.load_key(t, deq.data());
+        half_ref.update(t, cfg.logical_page_size, deq.data());
+      }
+      for (std::size_t j = 0; j < cfg.page_size / 2 / cfg.logical_page_size;
+           ++j) {
+        for (std::size_t c = 0; c < d; ++c) {
+          EXPECT_EQ(copy.kstats().kmin(j)[c], half_ref.kmin(j)[c]);
+          EXPECT_EQ(copy.kstats().kmax(j)[c], half_ref.kmax(j)[c]);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lserve::kv
