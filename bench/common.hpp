@@ -18,6 +18,7 @@
 
 #include "costmodel/pipeline_cost.hpp"
 #include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace lserve::bench {
 
@@ -133,17 +134,12 @@ inline std::string klen(std::size_t n) {
   return std::to_string(n);
 }
 
-/// p-th percentile (0..1) by nearest-rank over a copy of `v`; 0 when empty.
-/// Shared by the serving benches (serving_load, serving_frontend) so the
-/// TTFT/TPOT columns of both are computed identically.
-inline double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) + 0.5);
-  return v[idx];
-}
-
-/// Latency distribution snapshot in the samples' own unit.
+/// Latency distribution snapshot in the samples' own unit, computed
+/// through the serving stack's histogram type (obs::Histogram on the
+/// default_summary_buckets ladder) rather than ad-hoc sorted-vector math —
+/// the percentile a bench prints is the estimate an operator would read
+/// off the equivalent /metrics buckets with histogram_quantile(), within
+/// the ladder's ~2% bucket width.
 struct LatencySummary {
   double p50 = 0.0;
   double p95 = 0.0;
@@ -152,15 +148,21 @@ struct LatencySummary {
   std::size_t count = 0;
 
   static LatencySummary from(const std::vector<double>& samples) {
+    obs::Histogram h(obs::default_summary_buckets());
+    for (const double x : samples) h.observe(x);
+    return from(h);
+  }
+
+  /// Snapshot of a live histogram (e.g. one the bench registered and a
+  /// /metrics scrape also exports).
+  static LatencySummary from(const obs::Histogram& h) {
     LatencySummary s;
-    s.count = samples.size();
-    if (samples.empty()) return s;
-    s.p50 = percentile(samples, 0.5);
-    s.p95 = percentile(samples, 0.95);
-    s.p99 = percentile(samples, 0.99);
-    double total = 0.0;
-    for (const double x : samples) total += x;
-    s.mean = total / static_cast<double>(samples.size());
+    s.count = h.count();
+    if (s.count == 0) return s;
+    s.p50 = h.quantile(0.5);
+    s.p95 = h.quantile(0.95);
+    s.p99 = h.quantile(0.99);
+    s.mean = h.mean();  // exact: tracked as sum/count, not from buckets.
     return s;
   }
 };

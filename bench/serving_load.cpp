@@ -54,7 +54,7 @@ struct RunOutcome {
   std::size_t completed = 0;
 };
 
-using bench::percentile;
+using bench::LatencySummary;
 
 /// 12 short + 3 long requests, longs interleaved so monolithic admission
 /// puts a long prefill in front of running short decodes.
@@ -108,13 +108,15 @@ RunOutcome run_traffic(std::size_t chunk_tokens, std::size_t threads,
 }
 
 void report(const std::string& label, const RunOutcome& out) {
+  // Histogram-sourced percentiles (obs::Histogram via LatencySummary): the
+  // same estimator a /metrics scrape of the serving stack would yield.
+  const LatencySummary st = LatencySummary::from(out.short_ttft_us);
+  const LatencySummary lt = LatencySummary::from(out.long_ttft_us);
+  const LatencySummary tp = LatencySummary::from(out.tpot_us);
   bench::row(label,
-             {bench::fmt(percentile(out.short_ttft_us, 0.5) / 1000.0, 1),
-              bench::fmt(percentile(out.short_ttft_us, 0.95) / 1000.0, 1),
-              bench::fmt(percentile(out.long_ttft_us, 0.5) / 1000.0, 1),
-              bench::fmt(percentile(out.tpot_us, 0.5) / 1000.0, 2),
-              bench::fmt(percentile(out.tpot_us, 0.95) / 1000.0, 2),
-              bench::fmt(out.wall_ms, 0)},
+             {bench::fmt(st.p50 / 1000.0, 1), bench::fmt(st.p95 / 1000.0, 1),
+              bench::fmt(lt.p50 / 1000.0, 1), bench::fmt(tp.p50 / 1000.0, 2),
+              bench::fmt(tp.p95 / 1000.0, 2), bench::fmt(out.wall_ms, 0)},
              24, 11);
 }
 
@@ -223,9 +225,9 @@ int run_gated_scenario() {
       gated_s.insert(gated_s.end(), lanes[2].samples.begin(),
                      lanes[2].samples.end());
     }
-    const double dense = percentile(dense_s, 0.5);
-    const double sparse = percentile(sparse_s, 0.5);
-    const double gated = percentile(gated_s, 0.5);
+    const double dense = LatencySummary::from(dense_s).p50;
+    const double sparse = LatencySummary::from(sparse_s).p50;
+    const double gated = LatencySummary::from(gated_s).p50;
     const double best = std::min(dense, sparse);
     within = within && gated <= best * 1.05;
     bench::row(std::to_string(ctx),

@@ -113,15 +113,13 @@ RunOutcome run_chat(const bench::ChatWorkloadConfig& wl, bool cache_on) {
 }
 
 double mean_ttft(const RunOutcome& out, bool hit_class) {
-  double total = 0.0;
-  std::size_t n = 0;
+  // Accumulated through the serving stack's histogram type (exact mean:
+  // sum/count, not bucket-estimated), matching the other serving benches.
+  lserve::obs::Histogram h(lserve::obs::default_summary_buckets());
   for (const auto& [key, rec] : out.turns) {
-    if ((key.turn > 0) == hit_class) {
-      total += rec.ttft_us;
-      ++n;
-    }
+    if ((key.turn > 0) == hit_class) h.observe(rec.ttft_us);
   }
-  return n == 0 ? 0.0 : total / static_cast<double>(n);
+  return bench::LatencySummary::from(h).mean;
 }
 
 }  // namespace

@@ -46,7 +46,10 @@ int main() {
                                      /*decode_threads=*/1,
                                      /*page_budget=*/0,
                                      /*default_deadline_steps=*/0,
-                                     /*policy=*/nullptr});
+                                     /*policy=*/nullptr,
+                                     /*metrics=*/nullptr,
+                                     /*tracer=*/nullptr,
+                                     /*clock=*/nullptr});
 
   // 1. Streamed generation: tokens arrive via on_token as they commit.
   std::printf("streaming a 12-token generation:\n  tokens:");

@@ -137,6 +137,16 @@ std::size_t PageAllocator::free_pages() const noexcept {
   return total_slots_ - in_use_;
 }
 
+PageAllocator::Occupancy PageAllocator::occupancy() const noexcept {
+  MutexLock lock(mu_);
+  Occupancy snap;
+  snap.capacity = total_slots_;
+  snap.in_use = in_use_;
+  snap.free = total_slots_ - in_use_;
+  snap.peak_in_use = peak_in_use_;
+  return snap;
+}
+
 double PageAllocator::device_bytes_in_use() const noexcept {
   MutexLock lock(mu_);
   double total = 0.0;

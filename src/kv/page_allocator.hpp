@@ -81,6 +81,19 @@ class PageAllocator {
     return (tokens + cfg_.page_size - 1) / cfg_.page_size;
   }
 
+  /// Coherent occupancy snapshot under one lock acquisition — the per-step
+  /// telemetry read (obs gauges). The individual queries above each take
+  /// the lock, so reading them separately can tear across a concurrent
+  /// allocate/free: in_use could exceed a just-grown capacity, or free
+  /// could go negative when computed by subtraction.
+  struct Occupancy {
+    std::size_t capacity = 0;
+    std::size_t in_use = 0;
+    std::size_t free = 0;  ///< capacity - in_use at snapshot time.
+    std::size_t peak_in_use = 0;
+  };
+  Occupancy occupancy() const noexcept;
+
   /// Total device bytes of pages currently in use.
   double device_bytes_in_use() const noexcept;
 

@@ -18,6 +18,8 @@
 
 #include "baselines/baseline_engines.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_tracer.hpp"
 #include "serve/scheduler.hpp"
 
 namespace {
@@ -34,6 +36,7 @@ struct Options {
   std::size_t prefill_chunk = 128;
   std::size_t deadline_steps = 0;
   std::size_t max_live = 64;
+  std::size_t trace_steps = 256;  ///< /debug/trace ring capacity.
 };
 
 bool parse_size(const char* arg, const char* key, std::size_t& out) {
@@ -49,7 +52,8 @@ void usage(const char* argv0) {
       "usage: %s [--port=N] [--model=tiny|small] [--max-batch=N]\n"
       "          [--decode-threads=N (0=hw)] [--page-budget=N (0=off)]\n"
       "          [--prefill-chunk=N (0=monolithic)]\n"
-      "          [--deadline-steps=N (0=off)] [--max-live=N (0=off)]\n",
+      "          [--deadline-steps=N (0=off)] [--max-live=N (0=off)]\n"
+      "          [--trace-steps=N (/debug/trace ring capacity)]\n",
       argv0);
 }
 
@@ -70,7 +74,8 @@ int main(int argc, char** argv) {
                parse_size(argv[i], "--page-budget", opt.page_budget) ||
                parse_size(argv[i], "--prefill-chunk", opt.prefill_chunk) ||
                parse_size(argv[i], "--deadline-steps", opt.deadline_steps) ||
-               parse_size(argv[i], "--max-live", opt.max_live)) {
+               parse_size(argv[i], "--max-live", opt.max_live) ||
+               parse_size(argv[i], "--trace-steps", opt.trace_steps)) {
       // parsed in the condition.
     } else {
       usage(argv[0]);
@@ -94,16 +99,25 @@ int main(int argc, char** argv) {
   ec.prefill_chunk_tokens = opt.prefill_chunk;
   serve::Engine engine(ec);
 
+  // One registry + tracer for the whole stack: the scheduler records into
+  // them, the HTTP layer exposes them (GET /metrics, GET /debug/trace).
+  obs::MetricsRegistry metrics;
+  obs::StepTracer tracer(opt.trace_steps == 0 ? 1 : opt.trace_steps);
+
   serve::SchedulerConfig sc;
   sc.max_batch = opt.max_batch;
   sc.decode_threads = opt.decode_threads;
   sc.page_budget = opt.page_budget;
   sc.default_deadline_steps = opt.deadline_steps;
+  sc.metrics = &metrics;
+  sc.tracer = &tracer;
   serve::Scheduler sched(engine, sc);
 
   net::ServerConfig server_cfg;
   server_cfg.port = opt.port;
   server_cfg.max_live = opt.max_live;
+  server_cfg.metrics = &metrics;
+  server_cfg.tracer = &tracer;
   net::HttpServer server(sched, server_cfg);
   const std::uint16_t port = server.start();
   std::printf("lserve_serve: model=%s listening on http://127.0.0.1:%u\n",

@@ -32,7 +32,23 @@ std::string status_json(const serve::RequestResult& result) {
 }  // namespace
 
 HttpServer::HttpServer(serve::Scheduler& sched, ServerConfig cfg)
-    : sched_(sched), cfg_(cfg) {}
+    : sched_(sched), cfg_(cfg) {
+  if (cfg_.metrics != nullptr) {
+    accepts_ = &cfg_.metrics->counter("lserve_http_accepts_total",
+                                      "TCP connections accepted.");
+    sheds_ = &cfg_.metrics->counter(
+        "lserve_http_sheds_total",
+        "Generate requests answered 503 by the max_live backpressure "
+        "gate.");
+    sse_stalls_ = &cfg_.metrics->counter(
+        "lserve_sse_backpressure_stalls_total",
+        "Flushes deferred by a full socket buffer (slow SSE consumer).");
+    disconnect_cancels_ = &cfg_.metrics->counter(
+        "lserve_http_disconnect_cancels_total",
+        "In-flight requests cancelled because their client disconnected "
+        "mid-stream.");
+  }
+}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -134,6 +150,7 @@ void HttpServer::on_accept() {
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (accepts_ != nullptr) accepts_->inc();
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->parser = HttpParser(cfg_.http_limits);
@@ -154,7 +171,10 @@ void HttpServer::close_connection(int fd, bool cancel_stream) {
     if (sit != streams_.end() && sit->second == fd) {
       // Disconnect before the terminal event: abort the request so its
       // pages go back to the pool instead of decoding for a dead socket.
-      if (cancel_stream) sched_.cancel(conn.request_id);
+      if (cancel_stream) {
+        sched_.cancel(conn.request_id);
+        if (disconnect_cancels_ != nullptr) disconnect_cancels_->inc();
+      }
       streams_.erase(sit);
       active_streams_.fetch_sub(1);
     }
@@ -224,6 +244,10 @@ void HttpServer::route(Connection& conn) {
     handle_generate(conn);
   } else if (req.method == "GET" && req.target == "/healthz") {
     handle_healthz(conn);
+  } else if (req.method == "GET" && req.target == "/metrics") {
+    handle_metrics(conn);
+  } else if (req.method == "GET" && req.target == "/debug/trace") {
+    handle_trace(conn);
   } else {
     respond(conn, 404, "Not Found", "{\"error\":\"no such endpoint\"}");
   }
@@ -234,12 +258,52 @@ void HttpServer::handle_healthz(Connection& conn) {
   body += sched_dead_.load() ? "poisoned" : "ok";
   body += "\",\"live_requests\":" + std::to_string(sched_.live_requests());
   body += ",\"active_streams\":" + std::to_string(active_streams_.load());
+  if (cfg_.metrics != nullptr) {
+    // Occupancy comes from the same registry gauges /metrics exports (the
+    // scheduler publishes them every step), so health and monitoring can
+    // never disagree about capacity.
+    const auto as_count = [](const obs::Gauge* g) {
+      return std::to_string(
+          g == nullptr ? 0 : static_cast<std::uint64_t>(g->value()));
+    };
+    body += ",\"pages_free\":" +
+            as_count(cfg_.metrics->find_gauge("lserve_kv_pages_free"));
+    body += ",\"pages_total\":" +
+            as_count(cfg_.metrics->find_gauge("lserve_kv_pages_capacity"));
+    body += ",\"waiting\":" +
+            as_count(cfg_.metrics->find_gauge("lserve_sequences_waiting"));
+  }
   body += "}";
   if (sched_dead_.load()) {
     respond(conn, 500, "Internal Server Error", body);
   } else {
     respond(conn, 200, "OK", body);
   }
+}
+
+void HttpServer::handle_metrics(Connection& conn) {
+  if (cfg_.metrics == nullptr) {
+    respond(conn, 404, "Not Found", "{\"error\":\"metrics not wired\"}");
+    return;
+  }
+  // Built on the loop thread: the walk holds only the registration lock
+  // and reads relaxed atomics — no scheduler involvement.
+  conn.outbuf +=
+      http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                    cfg_.metrics->expose_prometheus());
+  conn.close_after_flush = true;
+  flush(conn);
+}
+
+void HttpServer::handle_trace(Connection& conn) {
+  if (cfg_.tracer == nullptr) {
+    respond(conn, 404, "Not Found", "{\"error\":\"tracing not wired\"}");
+    return;
+  }
+  conn.outbuf += http_response(200, "OK", "application/json",
+                               cfg_.tracer->export_chrome_json());
+  conn.close_after_flush = true;
+  flush(conn);
 }
 
 void HttpServer::handle_generate(Connection& conn) {
@@ -252,6 +316,7 @@ void HttpServer::handle_generate(Connection& conn) {
     // Backpressure: defer admission to the client instead of queueing
     // unboundedly. 503 + Retry-After semantics are the open-loop bench's
     // "dropped" bucket.
+    if (sheds_ != nullptr) sheds_->inc();
     respond(conn, 503, "Service Unavailable",
             "{\"error\":\"overloaded\"}");
     return;
@@ -355,6 +420,7 @@ void HttpServer::flush(Connection& conn) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Socket buffer full (slow consumer): wait for POLLOUT. Tokens keep
       // queueing in outbuf — the stream is not dropped, just deferred.
+      if (sse_stalls_ != nullptr) sse_stalls_->inc();
       loop_.set_interest(conn.fd, kReadable | kWritable);
       return;
     }

@@ -26,7 +26,16 @@
 //   POST /v1/generate   body: {"prompt":[ints]} or {"prompt_len":N}
 //                       plus optional "max_new_tokens", "deadline_steps",
 //                       "seed"  → text/event-stream
-//   GET  /healthz       → application/json liveness + queue depth
+//   GET  /healthz       → application/json liveness + queue depth +
+//                         page-pool occupancy (from the metrics registry)
+//   GET  /metrics       → Prometheus text exposition (when wired)
+//   GET  /debug/trace   → Chrome trace-event JSON of recent steps (when
+//                         wired)
+//
+// The observability endpoints run entirely on the loop thread:
+// expose_prometheus() reads lock-free atomics and export_chrome_json()
+// holds only the tracer's ring mutex for the snapshot splice, so a scrape
+// never blocks the scheduler thread mid-step.
 #pragma once
 
 #include <atomic>
@@ -38,6 +47,8 @@
 
 #include "net/event_loop.hpp"
 #include "net/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_tracer.hpp"
 #include "serve/scheduler.hpp"
 
 namespace lserve::net {
@@ -54,6 +65,12 @@ struct ServerConfig {
   std::size_t max_prompt_tokens = 64 * 1024;
   std::size_t max_new_tokens_cap = 4096;
   HttpParser::Limits http_limits;
+  /// Observability sinks (optional, non-owning; normally the same objects
+  /// wired into the SchedulerConfig so one registry serves the whole
+  /// stack). Null disables GET /metrics / GET /debug/trace (404) and the
+  /// net-layer counters.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::StepTracer* tracer = nullptr;
 };
 
 /// One HTTP/1.1 + SSE server over one Scheduler. start() spawns the two
@@ -96,6 +113,8 @@ class HttpServer {
   void route(Connection& conn);
   void handle_generate(Connection& conn);
   void handle_healthz(Connection& conn);
+  void handle_metrics(Connection& conn);
+  void handle_trace(Connection& conn);
   void respond(Connection& conn, int status, std::string_view reason,
                std::string_view body);
   void flush(Connection& conn);
@@ -130,6 +149,14 @@ class HttpServer {
   // Loop-thread-owned (no locks: only loop-thread code touches them).
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
   std::unordered_map<std::uint64_t, int> streams_;  ///< request id → fd.
+
+  // Net-layer event counters, resolved once at construction (null when
+  // cfg_.metrics is null). Counter::inc is atomic, but these are only
+  // bumped from the loop thread anyway.
+  obs::Counter* accepts_ = nullptr;
+  obs::Counter* sheds_ = nullptr;
+  obs::Counter* sse_stalls_ = nullptr;
+  obs::Counter* disconnect_cancels_ = nullptr;
 };
 
 }  // namespace lserve::net

@@ -1,0 +1,61 @@
+// Injectable wall-clock source for the observability layer.
+//
+// The scheduler's own control flow is deliberately clockless (step indices
+// are its native time base; see serve/scheduler.hpp), but the telemetry
+// the serving stack exports — TTFT, TPOT, queue-wait, end-to-end latency,
+// per-phase trace spans — is wall-clock by definition. Every obs consumer
+// reads time through this interface so tests can substitute a FakeClock
+// and pin exact latencies, and so a disabled telemetry path can skip the
+// read entirely (see Scheduler::now_ns).
+//
+// Implementations must be safe to call from any thread: submit() stamps
+// arrival time on the caller's thread while the scheduler thread stamps
+// step phases.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace lserve::obs {
+
+/// Monotonic nanosecond clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary fixed origin; monotone non-decreasing.
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// The production clock: std::chrono::steady_clock.
+class MonotonicClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic test clock: time moves only when advance()d. Thread-safe
+/// (atomic), so it can back a scheduler with cross-thread submitters.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  std::uint64_t now_ns() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta_ns) {
+    now_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void set_ns(std::uint64_t t_ns) {
+    now_.store(t_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace lserve::obs

@@ -1,0 +1,106 @@
+#include "obs/step_tracer.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace lserve::obs {
+
+StepTraceBuilder::StepTraceBuilder(const Clock* clock, std::uint64_t step)
+    : clock_(clock) {
+  record_.step = step;
+  if (clock_ != nullptr) record_.start_ns = clock_->now_ns();
+}
+
+StepTraceBuilder::Span StepTraceBuilder::span(const char* name) {
+  if (clock_ == nullptr) return Span(nullptr, 0);
+  TraceSpan s;
+  s.name = name;
+  s.start_ns = clock_->now_ns();
+  record_.spans.push_back(s);
+  return Span(this, record_.spans.size() - 1);
+}
+
+void StepTraceBuilder::close(std::size_t index) noexcept {
+  assert(index < record_.spans.size());
+  TraceSpan& s = record_.spans[index];
+  s.dur_ns = clock_->now_ns() - s.start_ns;
+}
+
+StepTrace StepTraceBuilder::finish() {
+  if (clock_ != nullptr) {
+    record_.dur_ns = clock_->now_ns() - record_.start_ns;
+    clock_ = nullptr;
+  }
+  return std::move(record_);
+}
+
+StepTracer::StepTracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void StepTracer::commit(StepTrace record) {
+  if (record.spans.empty() && record.start_ns == 0 && record.dur_ns == 0) {
+    return;  // inactive builder — tracing disabled this step.
+  }
+  MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++committed_;
+}
+
+std::vector<StepTrace> StepTracer::snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<StepTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: ring order is chronological.
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t StepTracer::committed() const {
+  MutexLock lock(mu_);
+  return committed_;
+}
+
+namespace {
+
+void append_event(std::string& out, const char* name, std::uint64_t step,
+                  std::uint64_t start_ns, std::uint64_t dur_ns) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"step\":%llu}}",
+                name, static_cast<double>(start_ns) / 1000.0,
+                static_cast<double>(dur_ns) / 1000.0,
+                static_cast<unsigned long long>(step));
+  out += buf;
+}
+
+}  // namespace
+
+std::string StepTracer::export_chrome_json() const {
+  const std::vector<StepTrace> steps = snapshot();
+  std::string out =
+      "{\"displayTimeUnit\":\"ms\",\n"
+      "\"traceEvents\":[\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"scheduler\"}}";
+  for (const StepTrace& st : steps) {
+    append_event(out, "step", st.step, st.start_ns, st.dur_ns);
+    for (const TraceSpan& span : st.spans) {
+      append_event(out, span.name, st.step, span.start_ns, span.dur_ns);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace lserve::obs

@@ -419,6 +419,17 @@ std::size_t Engine::total_pages_in_use() const noexcept {
   return dense_alloc_.pages_in_use() + stream_alloc_.pages_in_use();
 }
 
+kv::PageAllocator::Occupancy Engine::pool_occupancy() const noexcept {
+  const kv::PageAllocator::Occupancy dense = dense_alloc_.occupancy();
+  const kv::PageAllocator::Occupancy stream = stream_alloc_.occupancy();
+  kv::PageAllocator::Occupancy sum;
+  sum.capacity = dense.capacity + stream.capacity;
+  sum.in_use = dense.in_use + stream.in_use;
+  sum.free = dense.free + stream.free;
+  sum.peak_in_use = dense.peak_in_use + stream.peak_in_use;
+  return sum;
+}
+
 PageDemand Engine::estimate_request_pages(
     std::size_t total_tokens) const noexcept {
   const std::size_t full = dense_alloc_.pages_for_tokens(total_tokens);

@@ -205,6 +205,11 @@ class Engine {
   /// Pages currently held across both pools (admission-control occupancy).
   std::size_t total_pages_in_use() const noexcept;
 
+  /// Combined occupancy snapshot of both pools (dense + streaming fields
+  /// summed; each pool snapshotted coherently under its own lock) — what
+  /// the scheduler publishes as the page-pool gauges every step.
+  kv::PageAllocator::Occupancy pool_occupancy() const noexcept;
+
   /// Worst-case pages a request totalling `total_tokens` (prompt +
   /// max_new_tokens) can occupy, given the current head partition.
   /// Streaming heads are capped by their sink + local-window geometry.

@@ -35,6 +35,17 @@ Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
   if (cfg_.policy != nullptr) {
     engine_.set_attention_policy(cfg_.policy);
   }
+  metrics_ = cfg_.metrics;
+  tracer_ = cfg_.tracer;
+  if (metrics_ != nullptr || tracer_ != nullptr) {
+    clock_ = cfg_.clock != nullptr
+                 ? cfg_.clock
+                 : std::make_shared<const obs::MonotonicClock>();
+  }
+  if (metrics_ != nullptr) {
+    register_metrics();
+    publish_step_metrics();  // gauges are valid before the first step.
+  }
 #if LSERVE_AUDIT_ENABLED
   // Pages the prefix cache holds are intentional steady-state occupancy,
   // not a leak; the quiescence check discounts them on both sides.
@@ -43,13 +54,111 @@ Scheduler::Scheduler(Engine& engine, SchedulerConfig cfg)
 #endif
 }
 
+void Scheduler::register_metrics() {
+  obs::MetricsRegistry& r = *metrics_;
+  const std::vector<double> lat = obs::default_latency_buckets_seconds();
+  m_.queue_wait = &r.histogram(
+      "lserve_request_queue_wait_seconds",
+      "Wall time from submit() to first admission into the batch.", lat);
+  m_.ttft = &r.histogram(
+      "lserve_request_ttft_seconds",
+      "Wall time from submit() to the first generated token.", lat);
+  m_.tpot = &r.histogram(
+      "lserve_request_tpot_seconds",
+      "Wall time between consecutive generated tokens of one request "
+      "(includes preemption stalls, as a streaming client observes them).",
+      lat);
+  m_.e2e = &r.histogram(
+      "lserve_request_e2e_seconds",
+      "Wall time from submit() to the terminal result (any status).", lat);
+  m_.submitted = &r.counter("lserve_requests_submitted_total",
+                            "Requests accepted by submit().");
+  m_.finished = &r.counter("lserve_requests_finished_total",
+                           "Requests that produced max_new_tokens.");
+  m_.cancelled = &r.counter("lserve_requests_cancelled_total",
+                            "Requests terminated by cancel().");
+  m_.deadline_exceeded =
+      &r.counter("lserve_requests_deadline_exceeded_total",
+                 "Requests terminated by a step-count deadline.");
+  m_.steps = &r.counter("lserve_scheduler_steps_total",
+                        "Scheduler iterations (Scheduler::step calls).");
+  m_.preemptions =
+      &r.counter("lserve_preemptions_total",
+                 "Sequences released under memory pressure and re-queued.");
+  m_.deferrals = &r.counter(
+      "lserve_admission_deferrals_total",
+      "Steps on which the front request did not fit the page budget.");
+  m_.prefill_chunks = &r.counter("lserve_prefill_chunks_total",
+                                 "Prefill chunks scheduled (at most one "
+                                 "per step).");
+  m_.prefix_hits = &r.counter(
+      "lserve_prefix_hits_total",
+      "Admissions that attached a cached prefix from the radix cache.");
+  m_.prefix_tokens =
+      &r.counter("lserve_prefix_tokens_reused_total",
+                 "Prompt tokens skipped at admission via the prefix cache.");
+  m_.route_dense = &r.counter(
+      "lserve_decode_route_steps_total{route=\"dense\"}",
+      "Per-sequence decode steps routed dense vs. sparse by the attention "
+      "policy.");
+  m_.route_sparse = &r.counter(
+      "lserve_decode_route_steps_total{route=\"sparse\"}",
+      "Per-sequence decode steps routed dense vs. sparse by the attention "
+      "policy.");
+  m_.seq_running = &r.gauge("lserve_sequences_running",
+                            "Sequences admitted to the batch (prefilling "
+                            "or decoding).");
+  m_.seq_waiting = &r.gauge("lserve_sequences_waiting",
+                            "Requests queued behind admission control.");
+  m_.requests_live = &r.gauge(
+      "lserve_requests_live",
+      "Requests submitted but not yet terminal (includes inbox).");
+  m_.pages_in_use = &r.gauge("lserve_kv_pages_in_use",
+                             "KV pages allocated across both engine pools.");
+  m_.pages_free = &r.gauge("lserve_kv_pages_free",
+                           "KV pages on the free lists of both engine "
+                           "pools (the pools still grow on demand).");
+  m_.pages_capacity = &r.gauge("lserve_kv_pages_capacity",
+                               "KV page slots created across both engine "
+                               "pools.");
+  m_.prefix_pages = &r.gauge("lserve_prefix_cache_pages_held",
+                             "KV pages pinned by the radix prefix cache.");
+}
+
+void Scheduler::publish_step_metrics() {
+  if (metrics_ == nullptr) return;
+  m_.seq_running->set(static_cast<double>(running_.size()));
+  m_.seq_waiting->set(static_cast<double>(waiting_.size()));
+  m_.requests_live->set(static_cast<double>(live_requests()));
+  const kv::PageAllocator::Occupancy occ = engine_.pool_occupancy();
+  m_.pages_in_use->set(static_cast<double>(occ.in_use));
+  m_.pages_free->set(static_cast<double>(occ.free));
+  m_.pages_capacity->set(static_cast<double>(occ.capacity));
+  m_.prefix_pages->set(
+      static_cast<double>(engine_.prefix_cache_pages_held()));
+  // Route decisions happen inside Engine::decode_batch; mirror the delta
+  // of its cumulative totals into per-route counters once per step.
+  const EngineStats& es = engine_.stats();
+  if (es.decode_dense_steps > seen_dense_steps_) {
+    m_.route_dense->inc(es.decode_dense_steps - seen_dense_steps_);
+    seen_dense_steps_ = es.decode_dense_steps;
+  }
+  if (es.decode_sparse_steps > seen_sparse_steps_) {
+    m_.route_sparse->inc(es.decode_sparse_steps - seen_sparse_steps_);
+    seen_sparse_steps_ = es.decode_sparse_steps;
+  }
+}
+
 Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
                      std::size_t decode_threads)
     : Scheduler(engine,
                 SchedulerConfig{max_batch, decode_threads,
                                 /*page_budget=*/0,
                                 /*default_deadline_steps=*/0,
-                                /*policy=*/nullptr}) {}
+                                /*policy=*/nullptr,
+                                /*metrics=*/nullptr,
+                                /*tracer=*/nullptr,
+                                /*clock=*/nullptr}) {}
 
 std::uint64_t Scheduler::submit(Request req) {
   if (req.prompt.empty()) {
@@ -73,8 +182,13 @@ std::uint64_t Scheduler::submit(Request req) {
     live_ids_.insert(id);
     Pending pend;
     pend.req = std::move(req);
+    // Wall-clock submit stamp for queue-wait/TTFT/e2e. now_ns() and the
+    // counter bump are both safe off the scheduler thread (atomic reads/
+    // adds); mu_ stays a leaf lock either way.
+    if (metrics_ != nullptr) pend.submit_ns = now_ns();
     submit_inbox_.push_back(std::move(pend));
   }
+  if (metrics_ != nullptr) m_.submitted->inc();
   work_cv_.notify_all();
   return id;
 }
@@ -177,6 +291,20 @@ void Scheduler::finish(Pending pend, std::vector<std::int32_t> output,
       ++stats_.deadline_exceeded;
       break;
   }
+  if (metrics_ != nullptr) {
+    m_.e2e->observe(static_cast<double>(now_ns() - pend.submit_ns) * 1e-9);
+    switch (status) {
+      case RequestStatus::kFinished:
+        m_.finished->inc();
+        break;
+      case RequestStatus::kCancelled:
+        m_.cancelled->inc();
+        break;
+      case RequestStatus::kDeadlineExceeded:
+        m_.deadline_exceeded->inc();
+        break;
+    }
+  }
   const std::uint64_t id = pend.req.request_id;
   results_.push_back(std::move(result));
   if (pend.req.on_done) {
@@ -204,6 +332,7 @@ void Scheduler::insert_prefix(const Running& run) {
   const std::size_t position = engine_.sequence(run.seq).position;
   const std::size_t prefilled = std::min(position, run.pend.feed().size());
   if (prefilled == 0) return;
+  obs::StepTraceBuilder::Span span = step_trace_.span("prefix_insert");
   engine_.insert_prefix(
       run.seq, std::span<const std::int32_t>(run.pend.feed().data(),
                                              prefilled));
@@ -328,6 +457,7 @@ void Scheduler::admit() {
         if (engine_.total_pages_in_use() + headroom + need >
             cfg_.page_budget) {
           ++stats_.deferred_admissions;
+          if (metrics_ != nullptr) m_.deferrals->inc();
           break;
         }
       }
@@ -335,16 +465,30 @@ void Scheduler::admit() {
     Running run;
     run.pend = std::move(waiting_.front());
     waiting_.pop_front();
+    if (metrics_ != nullptr && !run.pend.queue_wait_recorded) {
+      // First admission only: a preempted request's re-admission is not a
+      // queue wait the client can see (its stall lands in TPOT instead).
+      m_.queue_wait->observe(
+          static_cast<double>(now_ns() - run.pend.submit_ns) * 1e-9);
+      run.pend.queue_wait_recorded = true;
+    }
     run.seq = engine_.create_sequence();
     // Attach the cached prefix (no-op without a prefix cache): prefill
     // resumes at the first uncached token, which is what turns a shared
     // prefix into a TTFT win.
-    const std::size_t attached =
-        engine_.attach_prefix(run.seq, run.pend.feed());
+    std::size_t attached = 0;
+    {
+      obs::StepTraceBuilder::Span span = step_trace_.span("prefix_attach");
+      attached = engine_.attach_prefix(run.seq, run.pend.feed());
+    }
     run.prefill_pos = attached;
     if (attached > 0) {
       ++stats_.prefix_hits;
       stats_.prefix_tokens_reused += attached;
+      if (metrics_ != nullptr) {
+        m_.prefix_hits->inc();
+        m_.prefix_tokens->inc(attached);
+      }
     }
     engine_.begin_prefill(run.seq, run.pend.feed().size());
     run.phase = SequencePhase::kPrefilling;
@@ -367,6 +511,7 @@ void Scheduler::advance_prefill() {
   }
   if (target == nullptr) return;
 
+  obs::StepTraceBuilder::Span span = step_trace_.span("prefill_chunk");
   const std::vector<std::int32_t>& feed = target->pend.feed();
   const std::size_t chunk = engine_.config().prefill_chunk_tokens;
   const std::size_t remaining = feed.size() - target->prefill_pos;
@@ -376,6 +521,7 @@ void Scheduler::advance_prefill() {
   const std::size_t left = engine_.prefill_chunk(target->seq, ids);
   target->prefill_pos += count;
   ++stats_.prefill_chunks;
+  if (metrics_ != nullptr) m_.prefill_chunks->inc();
   if (left > 0) return;
 
   const std::int32_t first = engine_.finish_prefill(target->seq);
@@ -383,6 +529,13 @@ void Scheduler::advance_prefill() {
   if (target->pend.resumed.empty()) {
     target->output.push_back(first);
     target->pend.first_token_step = stats_.steps;
+    if (metrics_ != nullptr && !target->pend.ttft_recorded) {
+      const std::uint64_t now = now_ns();
+      m_.ttft->observe(
+          static_cast<double>(now - target->pend.submit_ns) * 1e-9);
+      target->pend.ttft_recorded = true;
+      target->pend.last_token_ns = now;
+    }
   } else {
     // Re-prefill after preemption recomputed the KV state of the earlier
     // partial run; the readout of the last fed token re-derives the last
@@ -409,6 +562,7 @@ void Scheduler::preempt(std::size_t slot) {
   Pending pend = std::move(run.pend);
   ++pend.preemptions;
   ++stats_.preemptions;
+  if (metrics_ != nullptr) m_.preemptions->inc();
   if (run.phase == SequencePhase::kDecoding && !run.output.empty()) {
     // Recompute preemption: replay every token that was fed to the engine
     // (the prompt plus all generated tokens but the last, which had not
@@ -468,14 +622,32 @@ bool Scheduler::step() {
         "engine cannot keep serving");
   }
   ++stats_.steps;
+  // Telemetry envelope around the real step body: a fresh trace builder
+  // (inactive when tracing is off), the step counter, gauge publication
+  // after the body, and the trace commit. Nothing in here feeds back into
+  // step_impl()'s decisions — metrics-on and metrics-off drains are
+  // bit-identical.
+  step_trace_ = obs::StepTraceBuilder(
+      tracer_ == nullptr ? nullptr : clock_.get(), stats_.steps);
+  if (metrics_ != nullptr) m_.steps->inc();
+  const bool more = step_impl();
+  publish_step_metrics();
+  if (tracer_ != nullptr) tracer_->commit(step_trace_.finish());
+  return more;
+}
+
+bool Scheduler::step_impl() {
   // Step boundary: splice cross-thread submissions in, then apply
   // cancellations and deadlines before any new engine work is scheduled
   // (a cancelled request never costs another decode step).
-  std::vector<std::pair<std::uint64_t, RequestStatus>> cancels;
-  drain_inboxes(cancels);
-  apply_cancellations(cancels);
-  enforce_deadlines();
-  admit();
+  {
+    obs::StepTraceBuilder::Span span = step_trace_.span("admit");
+    std::vector<std::pair<std::uint64_t, RequestStatus>> cancels;
+    drain_inboxes(cancels);
+    apply_cancellations(cancels);
+    enforce_deadlines();
+    admit();
+  }
   if (running_.empty()) {
     assert(waiting_.empty() && "admit() always admits when nothing runs");
     // An on_done fired by the cancellation/deadline handling above may
@@ -484,7 +656,10 @@ bool Scheduler::step() {
     return !submit_inbox_.empty() || !cancel_inbox_.empty();
   }
   advance_prefill();
-  preempt_for_memory();
+  {
+    obs::StepTraceBuilder::Span span = step_trace_.span("preempt");
+    preempt_for_memory();
+  }
 
   // Gather this iteration's decode batch: every decoding sequence still
   // under budget, including one whose prefill completed this very step.
@@ -506,24 +681,44 @@ bool Scheduler::step() {
     last.push_back(run.output.back());
   }
   std::vector<std::int32_t> next;
-  try {
-    next = engine_.decode_batch(std::span<const SequenceId>(seqs),
-                                std::span<const std::int32_t>(last),
-                                pool_.get());
-  } catch (...) {
-    poisoned_ = true;
-    throw;
+  {
+    obs::StepTraceBuilder::Span span = step_trace_.span("decode_batch");
+    try {
+      next = engine_.decode_batch(std::span<const SequenceId>(seqs),
+                                  std::span<const std::int32_t>(last),
+                                  pool_.get());
+    } catch (...) {
+      poisoned_ = true;
+      throw;
+    }
   }
+  // One commit stamp for the whole batch: every sequence's token landed at
+  // the same join point, and one clock read per step keeps the TPOT cost
+  // independent of batch size.
+  const std::uint64_t commit_ns =
+      (metrics_ != nullptr && !slots.empty()) ? now_ns() : 0;
   for (std::size_t j = 0; j < slots.size(); ++j) {
-    running_[slots[j]].output.push_back(next[j]);
+    Running& run = running_[slots[j]];
+    run.output.push_back(next[j]);
+    if (metrics_ != nullptr) {
+      if (run.pend.last_token_ns != 0) {
+        m_.tpot->observe(
+            static_cast<double>(commit_ns - run.pend.last_token_ns) * 1e-9);
+      }
+      run.pend.last_token_ns = commit_ns;
+    }
   }
 
   // Stream every token committed this step (the decode batch above plus a
   // first token produced by advance_prefill) before retirement, so a
   // request's final on_token precedes its on_done.
-  for (Running& run : running_) deliver_tokens(run);
+  {
+    obs::StepTraceBuilder::Span span = step_trace_.span("deliver");
+    for (Running& run : running_) deliver_tokens(run);
+  }
 
   // Retire finished sequences (swap-erase keeps iteration simple).
+  obs::StepTraceBuilder::Span retire_span = step_trace_.span("retire");
   for (std::size_t i = 0; i < running_.size();) {
     Running& run = running_[i];
     if (run.phase == SequencePhase::kDecoding &&

@@ -68,6 +68,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_tracer.hpp"
 #include "serve/engine.hpp"
 #include "serve/thread_annotations.hpp"
 #include "serve/thread_pool.hpp"
@@ -143,6 +146,24 @@ struct SchedulerConfig {
   /// configured dynamic selection. Null = leave the engine's current
   /// policy alone (run-as-configured unless one was set directly).
   std::shared_ptr<const AttentionPolicy> policy;
+
+  /// Observability sinks (all optional, all non-owning — the caller keeps
+  /// them alive for the scheduler's lifetime; serve_main owns them in the
+  /// server binary). Telemetry NEVER feeds back into scheduling: drains
+  /// with metrics/tracing on are bit-identical to drains with them off at
+  /// any decode thread count (pinned by tests/obs_test.cpp).
+  ///
+  /// Wall-clock request telemetry (queue-wait, TTFT, TPOT, end-to-end
+  /// histograms; sequence/page/prefix gauges; lifecycle and route
+  /// counters) is recorded into `metrics`; per-step phase spans go into
+  /// `tracer` (exported as Chrome trace JSON via GET /debug/trace).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::StepTracer* tracer = nullptr;
+  /// Time source for the telemetry stamps. Null = steady-clock default;
+  /// tests inject obs::FakeClock for deterministic TTFT/TPOT. Unused (and
+  /// never read) when both sinks are null — the scheduler's control flow
+  /// stays clockless either way.
+  std::shared_ptr<const obs::Clock> clock;
 };
 
 /// Cumulative scheduler telemetry.
@@ -254,6 +275,15 @@ class Scheduler {
     std::size_t submit_step = 0;
     std::size_t first_token_step = 0;
     std::size_t delivered = 0;  ///< tokens already handed to on_token.
+    /// Wall-clock telemetry stamps (obs layer only — scheduling decisions
+    /// never read them; all stay 0 when metrics are off). TTFT/queue-wait
+    /// are recorded once per request and survive preemption; last_token_ns
+    /// deliberately spans a preemption replay, so the TPOT histogram sees
+    /// the inter-token stall a streaming client actually observes.
+    std::uint64_t submit_ns = 0;
+    std::uint64_t last_token_ns = 0;  ///< commit stamp of the latest token.
+    bool queue_wait_recorded = false;
+    bool ttft_recorded = false;
   };
 
   /// An admitted request bound to an engine sequence.
@@ -293,6 +323,19 @@ class Scheduler {
   /// Terminates running_[slot]: releases its sequence (pages reclaimed
   /// like preemption, not re-queued) and records the terminal result.
   void terminate_running(std::size_t slot, RequestStatus status);
+  /// The body of step(); step() itself is the telemetry envelope (trace
+  /// builder + per-step gauge/counter publication) around it.
+  bool step_impl();
+  /// Registers every scheduler-owned metric family (idempotent per
+  /// registry: register-or-get). Called once at construction.
+  void register_metrics();
+  /// Wall-clock read for telemetry stamps; 0 when no sink wants time.
+  std::uint64_t now_ns() const noexcept {
+    return clock_ == nullptr ? 0 : clock_->now_ns();
+  }
+  /// Publishes the per-step gauges (sequences, pages, prefix cache) and
+  /// mirrors the engine's dense/sparse route deltas into counters.
+  void publish_step_metrics();
 
   Engine& engine_;
   SchedulerConfig cfg_;
@@ -303,6 +346,44 @@ class Scheduler {
   SchedulerStats stats_;
   std::uint64_t admit_counter_ = 0;  ///< preemption priority (newest first).
   bool poisoned_ = false;  ///< a decode batch threw; engine unusable.
+
+  /// Observability (scheduler-thread only, except the atomic counter
+  /// bumped from submit()). Handles are resolved once at construction;
+  /// null sinks compile the whole layer down to a handful of null checks.
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< == cfg_.metrics.
+  obs::StepTracer* tracer_ = nullptr;        ///< == cfg_.tracer.
+  std::shared_ptr<const obs::Clock> clock_;  ///< null iff both sinks null.
+  /// Phase-span builder for the step in flight; reset (inactive when
+  /// tracing is off) at the top of every step().
+  obs::StepTraceBuilder step_trace_;
+  struct MetricHandles {
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* ttft = nullptr;
+    obs::Histogram* tpot = nullptr;
+    obs::Histogram* e2e = nullptr;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* finished = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* steps = nullptr;
+    obs::Counter* preemptions = nullptr;
+    obs::Counter* deferrals = nullptr;
+    obs::Counter* prefill_chunks = nullptr;
+    obs::Counter* prefix_hits = nullptr;
+    obs::Counter* prefix_tokens = nullptr;
+    obs::Counter* route_dense = nullptr;
+    obs::Counter* route_sparse = nullptr;
+    obs::Gauge* seq_running = nullptr;
+    obs::Gauge* seq_waiting = nullptr;
+    obs::Gauge* requests_live = nullptr;
+    obs::Gauge* pages_in_use = nullptr;
+    obs::Gauge* pages_free = nullptr;
+    obs::Gauge* pages_capacity = nullptr;
+    obs::Gauge* prefix_pages = nullptr;
+  } m_;
+  /// Last-seen engine route totals, for per-step delta mirroring.
+  std::size_t seen_dense_steps_ = 0;
+  std::size_t seen_sparse_steps_ = 0;
 #if LSERVE_AUDIT_ENABLED
   /// Engine pool occupancy at construction; drain() aborts with the
   /// auditor's who-leaked-what report if it does not return to this.

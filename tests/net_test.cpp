@@ -17,6 +17,8 @@
 
 #include "baselines/baseline_engines.hpp"
 #include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_tracer.hpp"
 #include "net/http.hpp"
 #include "net/server.hpp"
 #include "serve/scheduler.hpp"
@@ -324,6 +326,106 @@ TEST(HttpServer, HealthzRespondsAndUnknownTargets404) {
   const std::string huge = talk(
       port, post_generate("{\"prompt_len\":9000000000000000000}"), "}");
   EXPECT_NE(huge.find("400 Bad Request"), std::string::npos);
+
+  // Without a wired registry/tracer the observability endpoints 404 and
+  // /healthz omits the occupancy fields rather than inventing zeros.
+  EXPECT_EQ(health.find("\"pages_free\""), std::string::npos);
+  const std::string metrics =
+      talk(port, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n", "}");
+  EXPECT_NE(metrics.find("404 Not Found"), std::string::npos);
+  const std::string trace =
+      talk(port, "GET /debug/trace HTTP/1.1\r\nHost: t\r\n\r\n", "}");
+  EXPECT_NE(trace.find("404 Not Found"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, MetricsEndpointExposesPrometheusTelemetry) {
+  serve::Engine engine(engine_cfg());
+  obs::MetricsRegistry reg;
+  obs::StepTracer tracer(64);
+  serve::SchedulerConfig sc;
+  sc.max_batch = 4;
+  sc.metrics = &reg;
+  sc.tracer = &tracer;
+  serve::Scheduler sched(engine, sc);
+  ServerConfig cfg = loopback_cfg();
+  cfg.metrics = &reg;
+  cfg.tracer = &tracer;
+  HttpServer server(sched, cfg);
+  const std::uint16_t port = server.start();
+
+  // One full generation so the latency histograms hold real samples.
+  const std::string stream = talk(
+      port, post_generate("{\"prompt_len\":8,\"max_new_tokens\":4}"),
+      "event: done");
+  EXPECT_NE(stream.find("\"status\":\"FINISHED\""), std::string::npos);
+
+  // The scrape connection closes after the flush, so read to EOF.
+  const std::string page =
+      talk(port, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n", "\xff");
+  EXPECT_NE(page.find("200 OK"), std::string::npos);
+  EXPECT_NE(page.find("text/plain; version=0.0.4"), std::string::npos);
+  // Text-format shape: HELP/TYPE headers, cumulative histogram series.
+  EXPECT_NE(page.find("# TYPE lserve_request_ttft_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("lserve_request_ttft_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("lserve_request_ttft_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("lserve_request_tpot_seconds_count 3"),
+            std::string::npos);
+  // Lifecycle counters, routed-decode labels, and HTTP-layer counters all
+  // land on the same page.
+  EXPECT_NE(page.find("lserve_requests_finished_total 1"), std::string::npos);
+  EXPECT_NE(page.find("lserve_scheduler_steps_total"), std::string::npos);
+  EXPECT_NE(page.find("lserve_decode_route_steps_total{route=\"dense\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("lserve_decode_route_steps_total{route=\"sparse\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE lserve_kv_pages_in_use gauge"),
+            std::string::npos);
+  EXPECT_NE(page.find("lserve_http_accepts_total"), std::string::npos);
+
+  // /healthz reports occupancy and queue depth from the same registry.
+  const std::string health =
+      talk(port, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n", "}");
+  EXPECT_NE(health.find("\"pages_free\":"), std::string::npos);
+  EXPECT_NE(health.find("\"pages_total\":"), std::string::npos);
+  EXPECT_NE(health.find("\"waiting\":0"), std::string::npos);
+  EXPECT_EQ(health.find("\"pages_total\":0,"), std::string::npos)
+      << "capacity gauge should be non-zero: " << health;
+  server.stop();
+  EXPECT_EQ(engine.total_pages_in_use(), 0u);
+}
+
+TEST(HttpServer, DebugTraceEndpointExportsChromeTraceJson) {
+  serve::Engine engine(engine_cfg());
+  obs::MetricsRegistry reg;
+  obs::StepTracer tracer(64);
+  serve::SchedulerConfig sc;
+  sc.max_batch = 4;
+  sc.metrics = &reg;
+  sc.tracer = &tracer;
+  serve::Scheduler sched(engine, sc);
+  ServerConfig cfg = loopback_cfg();
+  cfg.metrics = &reg;
+  cfg.tracer = &tracer;
+  HttpServer server(sched, cfg);
+  const std::uint16_t port = server.start();
+
+  const std::string stream = talk(
+      port, post_generate("{\"prompt_len\":8,\"max_new_tokens\":4}"),
+      "event: done");
+  EXPECT_NE(stream.find("\"status\":\"FINISHED\""), std::string::npos);
+
+  const std::string trace =
+      talk(port, "GET /debug/trace HTTP/1.1\r\nHost: t\r\n\r\n", "\xff");
+  EXPECT_NE(trace.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("application/json"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"step\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"decode_batch\""), std::string::npos);
   server.stop();
 }
 
