@@ -50,6 +50,9 @@ struct ClientOutcome {
   std::string status;     ///< terminal SSE status ("" if none seen).
   std::size_t tokens = 0; ///< token events received.
   bool aborted = false;   ///< we closed the socket mid-stream by design.
+  /// Non-200 responses must carry the structured error schema
+  /// {"error":{"code":"...","message":"..."}} (net/server.cpp).
+  bool error_schema_ok = false;
   double ttft_ms = -1.0;
   double total_ms = 0.0;
 };
@@ -57,7 +60,8 @@ struct ClientOutcome {
 /// One blocking-socket SSE client: POSTs /v1/generate and consumes the
 /// stream, optionally hanging up after `abort_after` token events.
 ClientOutcome run_client(std::uint16_t port, std::uint64_t seed,
-                         std::size_t abort_after) {
+                         std::size_t abort_after,
+                         const char* body_override = nullptr) {
   ClientOutcome out;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return out;
@@ -75,11 +79,12 @@ ClientOutcome run_client(std::uint16_t port, std::uint64_t seed,
   timeval timeout{30, 0};
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
-  const std::string body = "{\"prompt_len\":" +
-                           std::to_string(kPromptTokens) +
-                           ",\"max_new_tokens\":" +
-                           std::to_string(kNewTokens) +
-                           ",\"seed\":" + std::to_string(seed) + "}";
+  const std::string body =
+      body_override != nullptr
+          ? std::string(body_override)
+          : "{\"prompt_len\":" + std::to_string(kPromptTokens) +
+                ",\"max_new_tokens\":" + std::to_string(kNewTokens) +
+                ",\"seed\":" + std::to_string(seed) + "}";
   const std::string request =
       "POST /v1/generate HTTP/1.1\r\nHost: 127.0.0.1\r\n"
       "Content-Type: application/json\r\nContent-Length: " +
@@ -102,9 +107,11 @@ ClientOutcome run_client(std::uint16_t port, std::uint64_t seed,
       const std::size_t eol = stream.find("\r\n");
       if (eol != std::string::npos && stream.size() >= 12) {
         out.http_status = std::atoi(stream.c_str() + 9);
-        if (out.http_status != 200) break;
+        // Non-200: keep reading to EOF (the server closes after flushing)
+        // so the structured error body can be schema-checked below.
       }
     }
+    if (out.http_status != 0 && out.http_status != 200) continue;
     std::size_t pos;
     while ((pos = stream.find("event: token", scanned)) !=
            std::string::npos) {
@@ -128,6 +135,11 @@ ClientOutcome run_client(std::uint16_t port, std::uint64_t seed,
     }
   }
   out.total_ms = ms_since(t0);
+  if (out.http_status != 0 && out.http_status != 200) {
+    out.error_schema_ok =
+        stream.find("{\"error\":{\"code\":\"") != std::string::npos &&
+        stream.find("\"message\":\"") != std::string::npos;
+  }
   ::close(fd);
   return out;
 }
@@ -138,6 +150,8 @@ struct ScenarioResult {
   std::size_t finished = 0;
   std::size_t aborted = 0;
   std::size_t failed = 0;  ///< non-200, connect errors, truncated streams.
+  /// Non-200 responses whose body violated the structured error schema.
+  std::size_t schema_violations = 0;
   std::size_t goodput_tokens = 0;
   double wall_s = 0.0;
 };
@@ -177,6 +191,10 @@ ScenarioResult run_open_loop(std::uint16_t port, double rate, std::size_t n,
         }
       } else {
         ++result.failed;
+        if (out.http_status != 0 && out.http_status != 200 &&
+            !out.error_schema_ok) {
+          ++result.schema_violations;
+        }
       }
     });
   }
@@ -246,6 +264,15 @@ int main(int argc, char** argv) {
       run_open_loop(port, rates.back(), n, /*abort_every=*/3);
   report(bench::fmt(rates.back(), 0) + " req/s + aborts", aborts);
 
+  // Error-schema gate: a shed or rejected request must answer with the
+  // structured {"error":{"code","message"}} body, never ad-hoc JSON.
+  std::size_t schema_violations = aborts.schema_violations;
+  {
+    const ClientOutcome bad = run_client(port, /*seed=*/0, /*abort_after=*/0,
+                                         "{\"max_new_tokens\":0}");
+    if (bad.http_status != 400 || !bad.error_schema_ok) ++schema_violations;
+  }
+
   // Every aborted stream's cancel must be fully absorbed: wait for the
   // scheduler to go quiet, then check the allocators are empty.
   const auto deadline = Clock::now() + std::chrono::seconds(10);
@@ -260,8 +287,8 @@ int main(int argc, char** argv) {
       "scenario: %zu streams closed mid-flight by the client, %zu\n"
       "cancellations reached the scheduler (a fast request can finish\n"
       "before its disconnect is seen), %zu pages still allocated after\n"
-      "drain (%s).\n",
+      "drain (%s); %zu error responses violated the structured schema.\n",
       aborts.aborted, sched.scheduler_stats().cancelled, leaked,
-      leaked == 0 ? "all reclaimed" : "LEAK");
-  return leaked == 0 ? 0 : 1;
+      leaked == 0 ? "all reclaimed" : "LEAK", schema_violations);
+  return leaked == 0 && schema_violations == 0 ? 0 : 1;
 }

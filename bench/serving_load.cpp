@@ -67,7 +67,7 @@ RunOutcome run_traffic(std::size_t chunk_tokens, std::size_t threads,
   serve::SchedulerConfig sc;
   sc.max_batch = 8;
   sc.decode_threads = threads;
-  sc.page_budget = page_budget;
+  sc.memory.page_budget = page_budget;
   serve::Scheduler sched(engine, sc);
 
   std::vector<std::uint64_t> long_ids;

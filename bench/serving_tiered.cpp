@@ -1,0 +1,265 @@
+// Tiered KV memory bench: how many long-context sessions stay resident
+// (and decodable) under a fixed hot-page admission budget, tiering on vs
+// off, plus the hot-path decode cost of the pin API itself.
+//
+// Capacity scenario: a burst of long-context requests runs through the
+// real Scheduler with memory.page_budget hot-resident pages. Admission
+// and preemption charge hot-tier occupancy only, so the untiered engine
+// (hot == total) serializes the burst — a few sessions at a time, the
+// rest deferred or preempted. The tiered engine spills cold pages to the
+// mmap-backed slot file, keeping hot occupancy at the spill watermark and
+// letting the whole burst stay resident. Concurrency is measured as the
+// number of sessions that commit a decode token in the same scheduler
+// step — sessions actually making forward progress together, which is
+// exactly what admission deferral and preemption take away.
+//
+// Hit-path scenario: a working set that fits entirely in the hot tier is
+// decoded with tiering on and off. The token streams must be bit-identical
+// and the tiered TPOT must stay within 20% of untiered — the pin API on a
+// hot page is a branch plus a pointer copy, not a lock.
+//
+//   bench_serving_tiered [out.json]        (writes BENCH_tiered.json blob)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/baseline_engines.hpp"
+#include "common.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace lserve;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kCtxTokens = 256;   ///< long-context prompt length.
+constexpr std::size_t kNewTokens = 48;    ///< decode tail per session.
+constexpr std::size_t kSessions = 12;     ///< burst size.
+constexpr std::size_t kPageBudget = 256;  ///< hot-resident admission budget.
+constexpr std::size_t kHotPages = 128;    ///< tiered spill watermark (dense).
+constexpr std::size_t kTpotSteps = 64;    ///< decode samples, hit path.
+
+/// Test-scale LServe geometry (8-token pages, 64-token selector budget).
+/// Tiering adds a dense spill watermark below the admission budget and a
+/// large cold tier; the admission budget itself is identical either way.
+serve::EngineConfig tiered_cfg(bool tiered) {
+  serve::EngineConfig ec = baselines::lserve_config(model::tiny());
+  ec.dense_pages.page_size = 8;
+  ec.dense_pages.logical_page_size = 4;
+  ec.streaming = {/*sink_tokens=*/4, /*local_tokens=*/8};
+  ec.tiling = {8, 8};
+  ec.selector.token_budget = 64;
+  ec.prefill_chunk_tokens = 64;
+  ec.pool_pages = 512;
+  if (tiered) {
+    ec.memory.hot_pages = kHotPages;
+    ec.memory.cold_bytes = 256ull << 20;
+  }
+  return ec;
+}
+
+/// Session prompts are salted per index so no two sessions share a prefix.
+std::vector<std::int32_t> session_prompt(std::size_t session) {
+  std::vector<std::int32_t> prompt(kCtxTokens);
+  for (std::size_t i = 0; i < kCtxTokens; ++i) {
+    prompt[i] =
+        static_cast<std::int32_t>((i * 131 + session * 37 + 11) % 251);
+  }
+  return prompt;
+}
+
+struct CapacityOutcome {
+  std::size_t peak_sessions = 0;  ///< max sessions decoding in one step.
+  std::size_t peak_hot = 0;       ///< max hot pages (== total when untiered).
+  std::size_t peak_cold = 0;      ///< max cold pages.
+  std::size_t preemptions = 0;
+  std::size_t deferred = 0;       ///< step-counted admission stalls.
+  std::size_t demotions = 0;
+  std::size_t promotions = 0;
+  double wall_ms = 0.0;
+};
+
+/// Submits the whole burst and steps the scheduler to idle, sampling
+/// resident-session and tier occupancy peaks at every step boundary.
+CapacityOutcome run_capacity(bool tiered) {
+  serve::Engine engine(tiered_cfg(tiered));
+  serve::SchedulerConfig sc;
+  sc.max_batch = kSessions;
+  sc.memory.page_budget = kPageBudget;
+  serve::Scheduler sched(engine, sc);
+  // Requests that commit a token per scheduler step: continuous batching
+  // decodes every resident session each step, so the number of distinct
+  // requests in one step's bucket IS decode concurrency.
+  std::vector<std::vector<std::uint64_t>> ids_at_step;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    serve::Request req;
+    req.prompt = session_prompt(s);
+    req.max_new_tokens = kNewTokens;
+    req.on_token = [&sched, &ids_at_step](std::uint64_t id, std::int32_t,
+                                          std::size_t) {
+      const std::size_t step = sched.scheduler_stats().steps;
+      if (ids_at_step.size() <= step) ids_at_step.resize(step + 1);
+      ids_at_step[step].push_back(id);
+    };
+    sched.submit(req);
+  }
+  CapacityOutcome out;
+  const auto t0 = Clock::now();
+  while (sched.step()) {
+    const kv::PageAllocator::Occupancy occ = engine.pool_occupancy();
+    out.peak_hot = std::max(out.peak_hot, occ.hot_in_use);
+    out.peak_cold = std::max(out.peak_cold, occ.cold_in_use);
+  }
+  for (std::vector<std::uint64_t>& bucket : ids_at_step) {
+    std::sort(bucket.begin(), bucket.end());
+    const auto last = std::unique(bucket.begin(), bucket.end());
+    out.peak_sessions = std::max(
+        out.peak_sessions,
+        static_cast<std::size_t>(last - bucket.begin()));
+  }
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  const serve::SchedulerStats ss = sched.scheduler_stats();
+  out.preemptions = ss.preemptions;
+  out.deferred = ss.deferred_admissions;
+  const kv::TierStats tier = engine.tier_stats();
+  out.demotions = tier.demotions;
+  out.promotions = tier.pin_promotions + tier.prefetch_promotions;
+  return out;
+}
+
+struct TpotOutcome {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  std::vector<std::int32_t> tokens;  ///< decode stream, for bit-identity.
+};
+
+/// One session per configuration, pages all inside the hot tier, the two
+/// engines stepped in lockstep (alternating order each round so scheduling
+/// jitter lands on both equally): the tiered lane never touches the cold
+/// store, so any TPOT delta is pure pin-API overhead.
+std::pair<TpotOutcome, TpotOutcome> run_hit_path() {
+  struct Lane {
+    std::unique_ptr<serve::Engine> engine;
+    serve::SequenceId id = 0;
+    std::int32_t tok = 0;
+    std::vector<double> samples;
+    TpotOutcome out;
+  };
+  Lane lanes[2];  // [0] = untiered, [1] = tiered.
+  for (std::size_t i = 0; i < 2; ++i) {
+    Lane& lane = lanes[i];
+    lane.engine = std::make_unique<serve::Engine>(tiered_cfg(i == 1));
+    lane.id = lane.engine->create_sequence();
+    const std::vector<std::int32_t> prompt = session_prompt(0);
+    lane.tok = lane.engine->prefill(lane.id, prompt);
+  }
+  constexpr std::size_t kWarmup = 4;
+  for (std::size_t step = 0; step < kTpotSteps + kWarmup; ++step) {
+    for (std::size_t off = 0; off < 2; ++off) {
+      Lane& lane = lanes[(step + off) % 2];
+      const auto t0 = Clock::now();
+      lane.tok = lane.engine->decode(lane.id, lane.tok);
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count();
+      if (step >= kWarmup) lane.samples.push_back(us);
+      lane.out.tokens.push_back(lane.tok);
+    }
+  }
+  for (Lane& lane : lanes) {
+    const bench::LatencySummary lat =
+        bench::LatencySummary::from(lane.samples);
+    lane.out.p50_us = lat.p50;
+    lane.out.p95_us = lat.p95;
+  }
+  return {std::move(lanes[0].out), std::move(lanes[1].out)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::section(
+      "Tiered KV capacity (model=tiny, " + std::to_string(kSessions) + "x" +
+      std::to_string(kCtxTokens) + "-token sessions, budget " +
+      std::to_string(kPageBudget) + " hot pages)");
+  const CapacityOutcome flat = run_capacity(/*tiered=*/false);
+  const CapacityOutcome tier = run_capacity(/*tiered=*/true);
+  bench::row("", {"peak sess", "peak hot", "peak cold", "preempt", "defer",
+                  "wall ms"},
+             26, 11);
+  bench::row("no tier (hot == total)",
+             {std::to_string(flat.peak_sessions), std::to_string(flat.peak_hot),
+              std::to_string(flat.peak_cold), std::to_string(flat.preemptions),
+              std::to_string(flat.deferred), bench::fmt(flat.wall_ms, 0)},
+             26, 11);
+  bench::row("tiered (spill at " + std::to_string(kHotPages) + ")",
+             {std::to_string(tier.peak_sessions), std::to_string(tier.peak_hot),
+              std::to_string(tier.peak_cold), std::to_string(tier.preemptions),
+              std::to_string(tier.deferred), bench::fmt(tier.wall_ms, 0)},
+             26, 11);
+  const double capacity_ratio =
+      flat.peak_sessions > 0
+          ? static_cast<double>(tier.peak_sessions) /
+                static_cast<double>(flat.peak_sessions)
+          : 0.0;
+  std::printf("\ncapacity: %.2fx more concurrent sessions at the same "
+              "hot-page budget (%zu demotions, %zu promotions)\n",
+              capacity_ratio, tier.demotions, tier.promotions);
+
+  bench::section("Hot-path decode (working set fits the hot tier)");
+  const auto [flat_tpot, tier_tpot] = run_hit_path();
+  const bool identical = flat_tpot.tokens == tier_tpot.tokens;
+  const double tpot_ratio =
+      flat_tpot.p50_us > 0.0 ? tier_tpot.p50_us / flat_tpot.p50_us : 0.0;
+  bench::row("", {"TPOTp50us", "TPOTp95us"}, 26, 11);
+  bench::row("no tier",
+             {bench::fmt(flat_tpot.p50_us, 1), bench::fmt(flat_tpot.p95_us, 1)},
+             26, 11);
+  bench::row("tiered",
+             {bench::fmt(tier_tpot.p50_us, 1), bench::fmt(tier_tpot.p95_us, 1)},
+             26, 11);
+  std::printf("\nhit-path TPOT ratio tiered/untiered: %.2fx; decode streams "
+              "bit-identical: %s\n",
+              tpot_ratio, identical ? "yes" : "NO");
+
+  const bool pass = capacity_ratio >= 2.0 && tpot_ratio <= 1.2 && identical;
+  char json[1536];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"bench\": \"serving_tiered\",\n"
+      "  \"workload\": {\"sessions\": %zu, \"ctx_tokens\": %zu,\n"
+      "    \"new_tokens\": %zu, \"page_budget\": %zu, \"hot_pages\": %zu},\n"
+      "  \"no_tier\": {\"peak_sessions\": %zu, \"peak_hot_pages\": %zu,\n"
+      "    \"preemptions\": %zu, \"deferred_admissions\": %zu,\n"
+      "    \"wall_ms\": %.1f},\n"
+      "  \"tiered\": {\"peak_sessions\": %zu, \"peak_hot_pages\": %zu,\n"
+      "    \"peak_cold_pages\": %zu, \"preemptions\": %zu,\n"
+      "    \"deferred_admissions\": %zu, \"demotions\": %zu,\n"
+      "    \"promotions\": %zu, \"wall_ms\": %.1f},\n"
+      "  \"capacity_ratio\": %.2f,\n"
+      "  \"hit_tpot_us\": {\"no_tier_p50\": %.1f, \"tiered_p50\": %.1f,\n"
+      "    \"ratio\": %.2f},\n"
+      "  \"outputs_bit_identical\": %s\n"
+      "}\n",
+      kSessions, kCtxTokens, kNewTokens, kPageBudget, kHotPages,
+      flat.peak_sessions, flat.peak_hot, flat.preemptions, flat.deferred,
+      flat.wall_ms, tier.peak_sessions, tier.peak_hot, tier.peak_cold,
+      tier.preemptions, tier.deferred, tier.demotions, tier.promotions,
+      tier.wall_ms, capacity_ratio, flat_tpot.p50_us, tier_tpot.p50_us,
+      tpot_ratio, identical ? "true" : "false");
+  std::printf("\n%s", json);
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fputs(json, f);
+      std::fclose(f);
+    }
+  }
+  return pass ? 0 : 1;
+}

@@ -44,7 +44,7 @@ int main() {
   serve::Scheduler sched(engine, serve::SchedulerConfig{
                                      /*max_batch=*/4,
                                      /*decode_threads=*/1,
-                                     /*page_budget=*/0,
+                                     /*memory=*/{},
                                      /*default_deadline_steps=*/0,
                                      /*policy=*/nullptr,
                                      /*metrics=*/nullptr,

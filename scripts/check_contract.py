@@ -33,6 +33,14 @@ Rules (see docs/CONCURRENCY.md for rationale):
   R6  nolint-justified   Every NOLINT / NOLINTNEXTLINE names the check it
                          silences and carries a `: reason` justification;
                          blanket NOLINTBEGIN regions are banned.
+  R7  page-pinning       src/ code outside the allocator never binds a raw
+                         Page&/Page* from anything but a pin: with the
+                         tiered store a page's storage can be demoted the
+                         moment no PagePin covers it, so every local
+                         `Page& p = ...` must come from `.page()` on a
+                         PagePin/PageWritePin, and no struct stores a
+                         Page pointer/reference member. (Page parameters
+                         are fine — the caller's pin covers the callee.)
 
 Exit codes: 0 clean, 1 violations (one `path:line: rule: message` per
 finding).
@@ -51,9 +59,16 @@ THREAD_OWNERS = (
     "src/serve/thread_pool.",
     "src/net/event_loop.",
     "src/net/server.",   # owns the loop + scheduler serving threads
+    "src/kv/page_allocator.",  # owns the tier prefetch thread
     "tests/",
     "bench/",
     "examples/",
+)
+
+# R7: the allocator and the page itself are the pin mechanism.
+PAGE_PIN_EXEMPT = (
+    "src/kv/page_allocator.",
+    "src/kv/page.",
 )
 
 # R2: the CLI binary may print to stdout.
@@ -68,6 +83,12 @@ RE_BARE_LOCK = re.compile(r"\.\s*(?:un)?lock\s*\(\s*\)")
 RE_RAW_MUTEX = re.compile(r"std::mutex\b|std::condition_variable\b")
 RE_MUTEX_MEMBER = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;")
 RE_NOLINT = re.compile(r"NOLINT(NEXTLINE)?(BEGIN|END)?(\([^)]*\))?(:)?")
+# R7: a local Page reference/pointer binding (`Page& p = ...`) and a Page
+# pointer/reference member (`Page* p_;`). Parameter lists don't match:
+# they have no `=` initializer and no trailing `;` on the declarator.
+RE_PAGE_BINDING = re.compile(
+    r"\b(?:kv::)?Page\s*[&*]\s*\w+\s*=\s*(?P<init>[^;]*)")
+RE_PAGE_MEMBER = re.compile(r"^\s*(?:const\s+)?(?:kv::)?Page\s*[&*]\s*\w+\s*;")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -123,6 +144,21 @@ def check_file(path: Path, findings: list[str]) -> None:
             m = RE_MUTEX_MEMBER.match(code)
             if m:
                 mutex_members.append((lineno, m.group(1)))
+
+            # R7: raw Page retention must flow through a pin.
+            if not any(rel.startswith(p) for p in PAGE_PIN_EXEMPT):
+                pb = RE_PAGE_BINDING.search(code)
+                if pb and ".page()" not in pb.group("init") and \
+                        "->page()" not in pb.group("init"):
+                    findings.append(
+                        f"{rel}:{lineno}: page-pinning: raw Page&/Page* "
+                        "bound outside a pin scope (hold a PagePin/"
+                        "PageWritePin and bind from .page())")
+                if RE_PAGE_MEMBER.match(code):
+                    findings.append(
+                        f"{rel}:{lineno}: page-pinning: Page pointer/"
+                        "reference stored as a member (store a PageId or "
+                        "PageRef; pin at the point of use)")
 
         # R6: NOLINT must be targeted and justified (checked in raw line —
         # NOLINT lives in comments).

@@ -38,7 +38,8 @@ void chunked_prefill_head(const kv::PageAllocator& alloc,
     // Scores are computed once per (row, token); the page loop is the
     // sequential KV walk of the decode kernel, shared across the tile.
     for (const kv::SelectedPage& entry : history) {
-      const kv::Page& page = alloc.get(entry.page);
+      const kv::PagePin pin = alloc.pin(entry.page);
+      const kv::Page& page = pin.page();
       const std::size_t begin =
           static_cast<std::size_t>(entry.block) * page_size;
       std::size_t count =
@@ -129,7 +130,8 @@ void chunked_prefill_streaming_head(
       std::size_t count =
           history_tokens > begin ? history_tokens - begin : 0;
       if (count == 0) continue;
-      const kv::Page& page = alloc.get(entry.page);
+      const kv::PagePin pin = alloc.pin(entry.page);
+      const kv::Page& page = pin.page();
       count = std::min({count, page_size, page.size()});
       for (std::size_t s = 0; s < count; ++s) {
         const std::size_t c = begin + s;

@@ -19,7 +19,8 @@ void sparse_paged_decode(const kv::PageAllocator& alloc,
   std::vector<float> value(head_dim);
 
   for (const kv::SelectedPage& entry : table) {
-    const kv::Page& page = alloc.get(entry.page);
+    const kv::PagePin pin = alloc.pin(entry.page);
+    const kv::Page& page = pin.page();
     // Tokens live in this block: full pages hold page_size tokens, the
     // trailing block holds the remainder. For streaming-head ring pages the
     // page's own fill count is authoritative.

@@ -38,7 +38,8 @@ void dense_paged_decode(const kv::PageAllocator& alloc,
   std::vector<float> key(head_dim);
   std::vector<float> value(head_dim);
   for (std::size_t b = 0; b < view.num_blocks(); ++b) {
-    const kv::Page& page = alloc.get(view.pages[b]);
+    const kv::PagePin pin = alloc.pin(view.pages[b]);
+    const kv::Page& page = pin.page();
     const std::size_t count = view.block_tokens(b);
     for (std::size_t s = 0; s < count; ++s) {
       page.load_key(s, key.data());

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "numeric/math.hpp"
@@ -177,6 +178,10 @@ void fused_sparse_decode(const kv::PageAllocator& dense_alloc,
     const kv::PageAllocator& alloc =
         cache.kind(layer, kvh) == kv::HeadKind::kStreaming ? stream_alloc
                                                            : dense_alloc;
+    // Tiered store: hint the whole selected table before the walk so the
+    // prefetcher can promote cold pages while the first group heads read
+    // hot ones (no-op when tiering is off).
+    alloc.prefetch(std::span<const kv::SelectedPage>(table));
     for (std::size_t g = 0; g < group_size; ++g) {
       const std::size_t h = kvh * group_size + g;
       sparse_paged_decode(alloc, table, seq_tokens, q_heads.row(h), head_dim,

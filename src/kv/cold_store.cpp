@@ -1,0 +1,121 @@
+#include "kv/cold_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace lserve::kv {
+
+namespace {
+
+/// Opens an unlinked temp file for the spill backing, or -1 if no
+/// writable temp directory is available.
+int open_spill_file() {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  std::string path = std::string(dir) + "/lserve_cold_XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) return -1;
+  // Unlink immediately: the file lives exactly as long as the fd, and a
+  // crashed process leaves nothing behind.
+  ::unlink(path.c_str());
+  return fd;
+}
+
+}  // namespace
+
+ColdStore::ColdStore(std::size_t slot_bytes, std::size_t max_bytes)
+    : slot_bytes_(slot_bytes), max_bytes_(max_bytes) {
+  assert(slot_bytes_ > 0);
+  fd_ = open_spill_file();
+}
+
+ColdStore::~ColdStore() {
+  {
+    MutexLock lock(mu_);
+    for (const Extent& e : extents_) {
+      if (e.base != nullptr) ::munmap(e.base, e.bytes);
+    }
+    extents_.clear();
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ColdStore::add_extent_locked() {
+  const std::size_t bytes = kExtentSlots * slot_bytes_;
+  const std::size_t offset = total_slots_ * slot_bytes_;
+  void* base = MAP_FAILED;
+  if (fd_ >= 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(offset + bytes)) == 0) {
+      base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                    static_cast<off_t>(offset));
+    }
+    if (base == MAP_FAILED) {
+      // File grew past the temp filesystem (or mmap failed): fall back to
+      // anonymous extents from here on.
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  if (base == MAP_FAILED) {
+    base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  }
+  if (base == MAP_FAILED) return false;
+  extents_.push_back({static_cast<std::uint8_t*>(base), bytes});
+  // LIFO order within the extent: its lowest id is handed out first.
+  for (std::size_t i = kExtentSlots; i > 0; --i) {
+    free_slots_.push_back(static_cast<ColdSlotId>(total_slots_ + i - 1));
+  }
+  total_slots_ += kExtentSlots;
+  return true;
+}
+
+std::uint8_t* ColdStore::slot_ptr(ColdSlotId id) const {
+  assert(id < total_slots_);
+  return extents_[id / kExtentSlots].base + (id % kExtentSlots) * slot_bytes_;
+}
+
+ColdSlotId ColdStore::store(const std::uint8_t* data) noexcept {
+  MutexLock lock(mu_);
+  if (max_bytes_ > 0 && (in_use_ + 1) * slot_bytes_ > max_bytes_) {
+    return kInvalidColdSlot;
+  }
+  if (free_slots_.empty() && !add_extent_locked()) return kInvalidColdSlot;
+  const ColdSlotId id = free_slots_.back();
+  free_slots_.pop_back();
+  ++in_use_;
+  std::memcpy(slot_ptr(id), data, slot_bytes_);
+  return id;
+}
+
+void ColdStore::load(ColdSlotId id, std::uint8_t* out) const noexcept {
+  MutexLock lock(mu_);
+  std::memcpy(out, slot_ptr(id), slot_bytes_);
+}
+
+void ColdStore::release(ColdSlotId id) noexcept {
+  MutexLock lock(mu_);
+  assert(id < total_slots_);
+  assert(in_use_ > 0);
+  --in_use_;
+  free_slots_.push_back(id);
+}
+
+std::size_t ColdStore::slots_in_use() const noexcept {
+  MutexLock lock(mu_);
+  return in_use_;
+}
+
+std::size_t ColdStore::bytes_in_use() const noexcept {
+  MutexLock lock(mu_);
+  return in_use_ * slot_bytes_;
+}
+
+}  // namespace lserve::kv

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "numeric/quant.hpp"
 
@@ -46,6 +47,30 @@ void KStats::reset() noexcept {
   std::fill(init_.begin(), init_.end(), 0);
   std::fill(kmin_.begin(), kmin_.end(), 0.0f);
   std::fill(kmax_.begin(), kmax_.end(), 0.0f);
+}
+
+std::size_t KStats::serialized_bytes() const noexcept {
+  return (kmin_.size() + kmax_.size()) * sizeof(float) + init_.size();
+}
+
+void KStats::serialize(std::uint8_t* out) const noexcept {
+  if (!kmin_.empty()) {
+    std::memcpy(out, kmin_.data(), kmin_.size() * sizeof(float));
+    out += kmin_.size() * sizeof(float);
+    std::memcpy(out, kmax_.data(), kmax_.size() * sizeof(float));
+    out += kmax_.size() * sizeof(float);
+  }
+  if (!init_.empty()) std::memcpy(out, init_.data(), init_.size());
+}
+
+void KStats::deserialize(const std::uint8_t* in) noexcept {
+  if (!kmin_.empty()) {
+    std::memcpy(kmin_.data(), in, kmin_.size() * sizeof(float));
+    in += kmin_.size() * sizeof(float);
+    std::memcpy(kmax_.data(), in, kmax_.size() * sizeof(float));
+    in += kmax_.size() * sizeof(float);
+  }
+  if (!init_.empty()) std::memcpy(init_.data(), in, init_.size());
 }
 
 float logical_page_score(const float* q, const float* kmax, const float* kmin,

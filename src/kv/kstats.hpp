@@ -59,6 +59,14 @@ class KStats {
 
   void reset() noexcept;
 
+  /// Bytes serialize() writes (kmin/kmax vectors + init flags).
+  std::size_t serialized_bytes() const noexcept;
+  /// Writes the stats verbatim so deserialize() restores them
+  /// bit-identically (cold-tier demote/promote path).
+  void serialize(std::uint8_t* out) const noexcept;
+  /// Restores stats of identical geometry from serialize() output.
+  void deserialize(const std::uint8_t* in) noexcept;
+
   /// Device bytes for the stats block (2 fp16 vectors per logical page).
   double device_bytes() const noexcept {
     return 2.0 * 2.0 * static_cast<double>(logical_pages_ * head_dim_);

@@ -10,8 +10,8 @@ void HeadCache::append(PageAllocator& alloc, const float* key,
   if (tokens_ % page_size == 0) {
     pages_.push_back(alloc.allocate());
   }
-  Page& page = alloc.get(pages_.back());
-  const std::size_t slot = page.append(key, value);
+  const PageWritePin pin = alloc.pin_mut(pages_.back());
+  const std::size_t slot = pin.page().append(key, value);
   assert(slot == tokens_ % page_size);
   (void)slot;
   ++tokens_;
@@ -23,8 +23,8 @@ void HeadCache::append_roundtrip(PageAllocator& alloc, float* key,
   if (tokens_ % page_size == 0) {
     pages_.push_back(alloc.allocate());
   }
-  Page& page = alloc.get(pages_.back());
-  const std::size_t slot = page.append_roundtrip(key, value);
+  const PageWritePin pin = alloc.pin_mut(pages_.back());
+  const std::size_t slot = pin.page().append_roundtrip(key, value);
   assert(slot == tokens_ % page_size);
   (void)slot;
   ++tokens_;
@@ -40,18 +40,18 @@ void HeadCache::load_key(const PageAllocator& alloc, std::size_t t,
                          float* out) const {
   assert(t < tokens_);
   const std::size_t page_size = alloc.config().page_size;
-  alloc.get(pages_[t / page_size]).load_key(t % page_size, out);
+  alloc.pin(pages_[t / page_size]).page().load_key(t % page_size, out);
 }
 
 void HeadCache::load_value(const PageAllocator& alloc, std::size_t t,
                            float* out) const {
   assert(t < tokens_);
   const std::size_t page_size = alloc.config().page_size;
-  alloc.get(pages_[t / page_size]).load_value(t % page_size, out);
+  alloc.pin(pages_[t / page_size]).page().load_value(t % page_size, out);
 }
 
 void HeadCache::release(PageAllocator& alloc) noexcept {
-  for (PageId id : pages_) alloc.free(id);
+  for (PageId id : pages_) alloc.release(id);
   pages_.clear();
   tokens_ = 0;
 }

@@ -1,0 +1,32 @@
+#include "kv/memory_config.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lserve::kv {
+
+namespace {
+
+bool parse_size(const char* arg, const char* key, std::size_t& out) noexcept {
+  const std::size_t klen = std::strlen(key);
+  if (std::strncmp(arg, key, klen) != 0 || arg[klen] != '=') return false;
+  out = static_cast<std::size_t>(std::strtoull(arg + klen + 1, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+bool MemoryConfig::parse_flag(const char* arg) noexcept {
+  return parse_size(arg, "--page-budget", page_budget) ||
+         parse_size(arg, "--prefix-cache-pages", prefix_cache_pages) ||
+         parse_size(arg, "--hot-pages", hot_pages) ||
+         parse_size(arg, "--cold-bytes", cold_bytes);
+}
+
+const char* MemoryConfig::flag_help() noexcept {
+  return "[--page-budget=N (0=off)] [--prefix-cache-pages=N]\n"
+         "          [--hot-pages=N (0=tiering off)] [--cold-bytes=N (0=cap "
+         "off)]";
+}
+
+}  // namespace lserve::kv

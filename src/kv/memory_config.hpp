@@ -1,0 +1,37 @@
+// The serving stack's memory knobs, consolidated.
+//
+// One struct carries every page-pool budget — the scheduler's admission
+// budget, the prefix-cache tree budget, and the two-tier hot/cold bounds —
+// so the `lserve_serve` argv parser, the benches, and the tests all plumb
+// the same object instead of duplicating knob-by-knob plumbing.
+#pragma once
+
+#include <cstddef>
+
+namespace lserve::kv {
+
+struct MemoryConfig {
+  /// Scheduler admission/preemption budget in pages (0 = unbounded).
+  /// When tiering is on, admission charges hot-resident pages only.
+  std::size_t page_budget = 0;
+  /// Prefix-cache radix-tree page budget (0 = unbounded tree).
+  std::size_t prefix_cache_pages = 0;
+  /// Hot-tier bound on the dense page pool (0 = tiering off): pages past
+  /// this are serialized into the cold store, coldest-first.
+  std::size_t hot_pages = 0;
+  /// Cold-store byte cap (0 = unbounded). When the cap is hit, spilling
+  /// stops and the hot pool runs over budget (a soft bound).
+  std::size_t cold_bytes = 0;
+
+  bool tiered() const noexcept { return hot_pages > 0; }
+
+  /// Parses one `--key=value` argv-style flag into this struct. Accepted
+  /// keys: --page-budget, --prefix-cache-pages, --hot-pages, --cold-bytes.
+  /// Returns false if `arg` is not a memory flag (caller keeps parsing).
+  bool parse_flag(const char* arg) noexcept;
+
+  /// One-line usage text for the flags parse_flag() accepts.
+  static const char* flag_help() noexcept;
+};
+
+}  // namespace lserve::kv

@@ -1,6 +1,7 @@
 #include "kv/page.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace lserve::kv {
 
@@ -73,6 +74,54 @@ void Page::load_key(std::size_t slot, float* out) const noexcept {
 void Page::load_value(std::size_t slot, float* out) const noexcept {
   assert(slot < count_);
   values_.load_row(slot, out);
+}
+
+std::size_t Page::serialized_bytes() const noexcept {
+  assert(initialized_);
+  std::size_t n = sizeof(std::uint64_t) + keys_.serialized_bytes() +
+                  values_.serialized_bytes();
+  if (cfg_.track_kstats) n += stats_.serialized_bytes();
+  return n;
+}
+
+std::size_t Page::serialized_bytes_for(const PageConfig& cfg) {
+  Page tmp;
+  tmp.init(cfg);
+  return tmp.serialized_bytes();
+}
+
+void Page::serialize(std::uint8_t* out) const noexcept {
+  assert(initialized_);
+  const std::uint64_t count = count_;
+  std::memcpy(out, &count, sizeof(count));
+  out += sizeof(count);
+  keys_.serialize(out);
+  out += keys_.serialized_bytes();
+  values_.serialize(out);
+  out += values_.serialized_bytes();
+  if (cfg_.track_kstats) stats_.serialize(out);
+}
+
+void Page::deserialize(const std::uint8_t* in) noexcept {
+  assert(initialized_);
+  std::uint64_t count = 0;
+  std::memcpy(&count, in, sizeof(count));
+  in += sizeof(count);
+  count_ = static_cast<std::size_t>(count);
+  assert(count_ <= cfg_.page_size);
+  keys_.deserialize(in);
+  in += keys_.serialized_bytes();
+  values_.deserialize(in);
+  in += values_.serialized_bytes();
+  if (cfg_.track_kstats) stats_.deserialize(in);
+}
+
+void Page::drop_storage() noexcept {
+  initialized_ = false;
+  count_ = 0;
+  keys_ = num::QuantizedRows();
+  values_ = num::QuantizedRows();
+  stats_ = KStats();
 }
 
 double Page::device_bytes() const noexcept {

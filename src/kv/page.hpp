@@ -83,6 +83,24 @@ class Page {
   /// stats), used by the memory accounting in EngineStats.
   double device_bytes() const noexcept;
 
+  /// Bytes serialize() writes: fill count + quantized payload + per-row
+  /// params + K_stats. Fixed for a given config — the cold-store slot size.
+  std::size_t serialized_bytes() const noexcept;
+  /// Slot footprint for any page built with `cfg` (no instance needed).
+  static std::size_t serialized_bytes_for(const PageConfig& cfg);
+  /// Writes the page verbatim so deserialize() restores it bit-identically
+  /// — quantized codes, per-row quant params, and K_stats all survive a
+  /// demote/promote round trip unchanged. Precondition: initialized().
+  void serialize(std::uint8_t* out) const noexcept;
+  /// Restores a page previously serialize()d under the same config.
+  /// Precondition: initialized() with that config.
+  void deserialize(const std::uint8_t* in) noexcept;
+  /// Releases heap storage on cold demotion: initialized() turns false and
+  /// the slot re-inits (or deserializes) on its next use, so a stale
+  /// reference held across the demotion faults loudly instead of reading
+  /// silently wrong bytes.
+  void drop_storage() noexcept;
+
  private:
   PageConfig cfg_;
   bool initialized_ = false;

@@ -104,6 +104,62 @@ void PageAuditor::on_unref(PageId id) noexcept {
   }
 }
 
+void PageAuditor::on_pin(PageId id) noexcept {
+  MutexLock lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || !it->second.live) {
+    std::fprintf(stderr,
+                 "[lserve page audit] pin of dead page %u by "
+                 "owner seq %llu at %s\n",
+                 static_cast<unsigned>(id),
+                 static_cast<unsigned long long>(
+                     PageAuditScope::current_owner()),
+                 PageAuditScope::current_site());
+    std::abort();
+  }
+  Record& rec = it->second;
+  if (rec.pin_count++ == 0) ++pinned_;
+  rec.pin_site = PageAuditScope::current_site();
+  rec.pin_thread_id = this_thread_id();
+}
+
+void PageAuditor::on_unpin(PageId id) noexcept {
+  MutexLock lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.pin_count == 0) {
+    std::fprintf(stderr,
+                 "[lserve page audit] unpin without a pin on page %u by "
+                 "owner seq %llu at %s\n",
+                 static_cast<unsigned>(id),
+                 static_cast<unsigned long long>(
+                     PageAuditScope::current_owner()),
+                 PageAuditScope::current_site());
+    std::abort();
+  }
+  if (--it->second.pin_count == 0) --pinned_;
+}
+
+void PageAuditor::on_demote(PageId id) noexcept {
+  MutexLock lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || !it->second.live) {
+    std::fprintf(stderr,
+                 "[lserve page audit] demote of dead page %u\n",
+                 static_cast<unsigned>(id));
+    std::abort();
+  }
+  const Record& rec = it->second;
+  if (rec.pin_count != 0) {
+    std::fprintf(stderr,
+                 "[lserve page audit] demote of pinned page %u "
+                 "(%zu pins, last pinned at %s on thread %llx) — a live "
+                 "Page& would dangle (use-after-demote)\n",
+                 static_cast<unsigned>(id), rec.pin_count, rec.pin_site,
+                 static_cast<unsigned long long>(rec.pin_thread_id));
+    std::abort();
+  }
+}
+
 void PageAuditor::on_free(PageId id) noexcept {
   MutexLock lock(mu_);
   const auto it = records_.find(id);
@@ -119,6 +175,14 @@ void PageAuditor::on_free(PageId id) noexcept {
   }
   Record& rec = it->second;
   if (!rec.live) die_locked("double free", id);
+  if (rec.pin_count != 0) {
+    std::fprintf(stderr,
+                 "[lserve page audit] freed while pinned: page %u holds "
+                 "%zu pins (last pinned at %s on thread %llx)\n",
+                 static_cast<unsigned>(id), rec.pin_count, rec.pin_site,
+                 static_cast<unsigned long long>(rec.pin_thread_id));
+    std::abort();
+  }
   if (!rec.shared && rec.owner != PageAuditScope::current_owner()) {
     die_locked("foreign free (owner mismatch)", id);
   }
@@ -144,6 +208,11 @@ std::string PageAuditor::report_live() const {
                   static_cast<unsigned long long>(rec.thread_id));
     out += " on thread ";
     out += buf;
+    if (rec.pin_count != 0) {
+      out += ", holding " + std::to_string(rec.pin_count) +
+             " pin(s) from ";
+      out += rec.pin_site;
+    }
     out += "\n";
   }
   return out;
@@ -152,6 +221,11 @@ std::string PageAuditor::report_live() const {
 std::size_t PageAuditor::live_pages() const {
   MutexLock lock(mu_);
   return live_;
+}
+
+std::size_t PageAuditor::pinned_pages() const {
+  MutexLock lock(mu_);
+  return pinned_;
 }
 
 }  // namespace lserve::kv

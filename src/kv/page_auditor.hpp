@@ -108,6 +108,21 @@ class PageAuditor {
   /// live (a decref after the final free is a use-after-free).
   void on_unref(PageId id) noexcept;
 
+  /// Records a pin (PagePin/PageWritePin construction) with site/thread
+  /// attribution. Aborts on a pin of a dead page.
+  void on_pin(PageId id) noexcept;
+  /// Records the matching unpin. Aborts on an unpin without a pin.
+  void on_unpin(PageId id) noexcept;
+  /// Called as a page enters the demotion path. Aborts if the page holds
+  /// outstanding pins — demoting a pinned page would invalidate a live
+  /// Page& (use-after-demote), the exact bug the pin API exists to
+  /// prevent.
+  void on_demote(PageId id) noexcept;
+
+  /// Pages with outstanding pins (pin-leak check at quiescence points:
+  /// a drained scheduler must hold zero pins).
+  std::size_t pinned_pages() const;
+
   /// One "page <id>: owner seq <o>, allocated at <site> on thread <t>"
   /// line per live page (empty string when nothing is live). The
   /// who-leaked-what report for quiescence points that expect an empty
@@ -126,6 +141,11 @@ class PageAuditor {
     /// Set by on_add_ref, cleared on the next on_alloc: this page has (or
     /// had) multiple holders, so frees need not come from the alloc owner.
     bool shared = false;
+    /// Outstanding pins + last-pin attribution (use-after-demote and
+    /// pin-leak forensics).
+    std::size_t pin_count = 0;
+    const char* pin_site = "(never pinned)";
+    std::uint64_t pin_thread_id = 0;
     /// Last-free attribution, kept for double-free reports.
     std::uint64_t free_owner = kAuditNoOwner;
     const char* free_site = "(never freed)";
@@ -138,6 +158,7 @@ class PageAuditor {
   mutable Mutex mu_;
   std::unordered_map<PageId, Record> records_ GUARDED_BY(mu_);
   std::size_t live_ GUARDED_BY(mu_) = 0;
+  std::size_t pinned_ GUARDED_BY(mu_) = 0;  ///< pages with pins > 0.
 };
 
 #else  // !LSERVE_AUDIT_ENABLED
@@ -160,8 +181,12 @@ class PageAuditor {
   void on_free(PageId /*id*/) noexcept {}
   void on_add_ref(PageId /*id*/) noexcept {}
   void on_unref(PageId /*id*/) noexcept {}
+  void on_pin(PageId /*id*/) noexcept {}
+  void on_unpin(PageId /*id*/) noexcept {}
+  void on_demote(PageId /*id*/) noexcept {}
   std::string report_live() const { return std::string(); }
   std::size_t live_pages() const { return 0; }
+  std::size_t pinned_pages() const { return 0; }
 };
 
 #endif  // LSERVE_AUDIT_ENABLED

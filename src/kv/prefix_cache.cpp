@@ -118,7 +118,8 @@ std::size_t PrefixCache::attach(std::span<const std::int32_t> prompt,
   // payload verbatim, never requantized, keeping outputs bit-identical.
   const auto cow = [&](PageAllocator& alloc, PageId src) REQUIRES(mu_) {
     const PageId id = alloc.allocate();
-    alloc.get(id).copy_prefix_from(alloc.get(src), tail);
+    const PagePin src_pin = alloc.pin(src);
+    alloc.pin_mut(id).page().copy_prefix_from(src_pin.page(), tail);
     ++stats_.cow_copies;
     return id;
   };
@@ -218,7 +219,7 @@ void PrefixCache::insert(std::span<const std::int32_t> tokens,
     for (std::size_t slot = 0; slot < node.pages.size(); ++slot) {
       const PageId id = node.pages[slot];
       if (id == kInvalidPage) continue;
-      (cfg_.kinds[slot] == HeadKind::kDense ? dense_ : stream_).free(id);
+      (cfg_.kinds[slot] == HeadKind::kDense ? dense_ : stream_).release(id);
       --pages_held_;
     }
     node.pages.clear();
@@ -381,7 +382,7 @@ std::size_t PrefixCache::evict_leaf_locked(Node* leaf) {
     PageAllocator& alloc =
         cfg_.kinds[slot] == HeadKind::kDense ? dense_ : stream_;
     if (alloc.ref_count(id) == 1) ++freed;
-    alloc.free(id);
+    alloc.release(id);
     --pages_held_;
   }
   Node* parent = leaf->parent;

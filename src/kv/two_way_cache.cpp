@@ -5,8 +5,8 @@
 
 namespace lserve::kv {
 
-Page& StreamingHeadCache::append_page(PageAllocator& alloc,
-                                      const StreamingConfig& cfg) {
+PageWritePin StreamingHeadCache::append_page(PageAllocator& alloc,
+                                             const StreamingConfig& cfg) {
   const std::size_t page_size = alloc.config().page_size;
   const std::size_t sink_blocks =
       (cfg.sink_tokens + page_size - 1) / page_size;
@@ -20,14 +20,14 @@ Page& StreamingHeadCache::append_page(PageAllocator& alloc,
       local_pages_.push_back({block, id});
     }
   }
-  return block < sink_blocks ? alloc.get(sink_pages_[block])
-                             : alloc.get(local_pages_.back().page);
+  return block < sink_blocks ? alloc.pin_mut(sink_pages_[block])
+                             : alloc.pin_mut(local_pages_.back().page);
 }
 
 void StreamingHeadCache::append(PageAllocator& alloc,
                                 const StreamingConfig& cfg, const float* key,
                                 const float* value) {
-  append_page(alloc, cfg).append(key, value);
+  append_page(alloc, cfg).page().append(key, value);
   ++tokens_;
   evict_stale(alloc, cfg);
 }
@@ -35,7 +35,7 @@ void StreamingHeadCache::append(PageAllocator& alloc,
 void StreamingHeadCache::append_roundtrip(PageAllocator& alloc,
                                           const StreamingConfig& cfg,
                                           float* key, float* value) {
-  append_page(alloc, cfg).append_roundtrip(key, value);
+  append_page(alloc, cfg).page().append_roundtrip(key, value);
   ++tokens_;
 }
 
@@ -50,7 +50,7 @@ void StreamingHeadCache::evict_stale(PageAllocator& alloc,
     const std::size_t block_end =
         (static_cast<std::size_t>(oldest.block) + 1) * page_size;
     if (tokens_ >= cfg.local_tokens + block_end) {
-      alloc.free(oldest.page);
+      alloc.release(oldest.page);
       local_pages_.pop_front();
     } else {
       break;
@@ -94,8 +94,8 @@ SelectedPageTable StreamingHeadCache::index_table() const {
 }
 
 void StreamingHeadCache::release(PageAllocator& alloc) noexcept {
-  for (PageId id : sink_pages_) alloc.free(id);
-  for (const LocalPage& lp : local_pages_) alloc.free(lp.page);
+  for (PageId id : sink_pages_) alloc.release(id);
+  for (const LocalPage& lp : local_pages_) alloc.release(lp.page);
   sink_pages_.clear();
   local_pages_.clear();
   tokens_ = 0;

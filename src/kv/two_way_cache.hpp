@@ -86,8 +86,9 @@ class StreamingHeadCache {
     std::uint32_t block;
     PageId page;
   };
-  /// Allocates-on-boundary and returns the page the next token lands in.
-  Page& append_page(PageAllocator& alloc, const StreamingConfig& cfg);
+  /// Allocates-on-boundary and returns a write pin on the page the next
+  /// token lands in.
+  PageWritePin append_page(PageAllocator& alloc, const StreamingConfig& cfg);
   std::vector<PageId> sink_pages_;     // blocks [0, sink_blocks)
   std::deque<LocalPage> local_pages_;  // trailing window
   std::size_t tokens_ = 0;

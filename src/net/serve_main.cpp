@@ -17,6 +17,7 @@
 #include <string>
 
 #include "baselines/baseline_engines.hpp"
+#include "kv/memory_config.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/step_tracer.hpp"
@@ -32,7 +33,9 @@ struct Options {
   std::string model = "small";
   std::size_t max_batch = 8;
   std::size_t decode_threads = 1;
-  std::size_t page_budget = 0;
+  /// Consolidated memory knobs: --page-budget, --prefix-cache-pages,
+  /// --hot-pages, --cold-bytes (kv/memory_config.hpp parses them).
+  lserve::kv::MemoryConfig memory;
   std::size_t prefill_chunk = 128;
   std::size_t deadline_steps = 0;
   std::size_t max_live = 64;
@@ -50,11 +53,12 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--port=N] [--model=tiny|small] [--max-batch=N]\n"
-      "          [--decode-threads=N (0=hw)] [--page-budget=N (0=off)]\n"
+      "          [--decode-threads=N (0=hw)]\n"
+      "          %s\n"
       "          [--prefill-chunk=N (0=monolithic)]\n"
       "          [--deadline-steps=N (0=off)] [--max-live=N (0=off)]\n"
       "          [--trace-steps=N (/debug/trace ring capacity)]\n",
-      argv0);
+      argv0, lserve::kv::MemoryConfig::flag_help());
 }
 
 }  // namespace
@@ -71,7 +75,7 @@ int main(int argc, char** argv) {
       opt.model = argv[i] + 8;
     } else if (parse_size(argv[i], "--max-batch", opt.max_batch) ||
                parse_size(argv[i], "--decode-threads", opt.decode_threads) ||
-               parse_size(argv[i], "--page-budget", opt.page_budget) ||
+               opt.memory.parse_flag(argv[i]) ||
                parse_size(argv[i], "--prefill-chunk", opt.prefill_chunk) ||
                parse_size(argv[i], "--deadline-steps", opt.deadline_steps) ||
                parse_size(argv[i], "--max-live", opt.max_live) ||
@@ -97,6 +101,10 @@ int main(int argc, char** argv) {
 
   serve::EngineConfig ec = baselines::lserve_config(mc);
   ec.prefill_chunk_tokens = opt.prefill_chunk;
+  // One MemoryConfig feeds both layers: the engine takes the prefix-cache
+  // and tier knobs, the scheduler the admission budget.
+  ec.memory = opt.memory;
+  if (opt.memory.prefix_cache_pages > 0) ec.enable_prefix_cache = true;
   serve::Engine engine(ec);
 
   // One registry + tracer for the whole stack: the scheduler records into
@@ -107,7 +115,7 @@ int main(int argc, char** argv) {
   serve::SchedulerConfig sc;
   sc.max_batch = opt.max_batch;
   sc.decode_threads = opt.decode_threads;
-  sc.page_budget = opt.page_budget;
+  sc.memory = opt.memory;
   sc.default_deadline_steps = opt.deadline_steps;
   sc.metrics = &metrics;
   sc.tracer = &tracer;

@@ -19,6 +19,16 @@ namespace lserve::net {
 
 namespace {
 
+/// Structured error schema shared by every non-2xx JSON response:
+///   {"error":{"code":"<machine_readable>","message":"<human detail>"}}
+/// Clients and the serve-smoke CI gate key on `code`; `message` is free
+/// text. Messages are caller-controlled (no user bytes), so no escaping.
+std::string error_body(const char* code, const std::string& message) {
+  return std::string("{\"error\":{\"code\":\"") + code +
+         "\",\"message\":\"" + message + "\"}}";
+}
+
+
 std::string status_json(const serve::RequestResult& result) {
   std::string out = "{\"status\":\"";
   out += serve::to_string(result.status);
@@ -207,7 +217,7 @@ void HttpServer::on_connection_event(int fd, std::uint32_t events) {
             // respond() may flush-and-close, destroying conn — return
             // without touching it again.
             respond(conn, 400, "Bad Request",
-                    "{\"error\":\"" + conn.parser.error() + "\"}");
+                    error_body("bad_request", conn.parser.error()));
             return;
           }
           if (conn.parser.complete()) {
@@ -249,7 +259,8 @@ void HttpServer::route(Connection& conn) {
   } else if (req.method == "GET" && req.target == "/debug/trace") {
     handle_trace(conn);
   } else {
-    respond(conn, 404, "Not Found", "{\"error\":\"no such endpoint\"}");
+    respond(conn, 404, "Not Found",
+            error_body("not_found", "no such endpoint"));
   }
 }
 
@@ -283,7 +294,8 @@ void HttpServer::handle_healthz(Connection& conn) {
 
 void HttpServer::handle_metrics(Connection& conn) {
   if (cfg_.metrics == nullptr) {
-    respond(conn, 404, "Not Found", "{\"error\":\"metrics not wired\"}");
+    respond(conn, 404, "Not Found",
+            error_body("not_found", "metrics not wired"));
     return;
   }
   // Built on the loop thread: the walk holds only the registration lock
@@ -297,7 +309,8 @@ void HttpServer::handle_metrics(Connection& conn) {
 
 void HttpServer::handle_trace(Connection& conn) {
   if (cfg_.tracer == nullptr) {
-    respond(conn, 404, "Not Found", "{\"error\":\"tracing not wired\"}");
+    respond(conn, 404, "Not Found",
+            error_body("not_found", "tracing not wired"));
     return;
   }
   conn.outbuf += http_response(200, "OK", "application/json",
@@ -309,7 +322,8 @@ void HttpServer::handle_trace(Connection& conn) {
 void HttpServer::handle_generate(Connection& conn) {
   if (sched_dead_.load()) {
     respond(conn, 500, "Internal Server Error",
-            "{\"error\":\"engine poisoned\"}");
+            error_body("engine_poisoned",
+                       "a decode batch failed; the engine is unusable"));
     return;
   }
   if (cfg_.max_live > 0 && sched_.live_requests() >= cfg_.max_live) {
@@ -318,7 +332,8 @@ void HttpServer::handle_generate(Connection& conn) {
     // "dropped" bucket.
     if (sheds_ != nullptr) sheds_->inc();
     respond(conn, 503, "Service Unavailable",
-            "{\"error\":\"overloaded\"}");
+            error_body("overloaded",
+                       "live request limit reached; retry later"));
     return;
   }
 
@@ -342,8 +357,10 @@ void HttpServer::handle_generate(Connection& conn) {
   }
   if (req.prompt.empty() || req.prompt.size() > cfg_.max_prompt_tokens) {
     respond(conn, 400, "Bad Request",
-            "{\"error\":\"prompt or prompt_len (1.." +
-                std::to_string(cfg_.max_prompt_tokens) + ") required\"}");
+            error_body("bad_request",
+                       "prompt or prompt_len (1.." +
+                           std::to_string(cfg_.max_prompt_tokens) +
+                           ") required"));
     return;
   }
   req.max_new_tokens = static_cast<std::size_t>(
@@ -352,8 +369,9 @@ void HttpServer::handle_generate(Connection& conn) {
   if (req.max_new_tokens == 0 ||
       req.max_new_tokens > cfg_.max_new_tokens_cap) {
     respond(conn, 400, "Bad Request",
-            "{\"error\":\"max_new_tokens must be 1.." +
-                std::to_string(cfg_.max_new_tokens_cap) + "\"}");
+            error_body("bad_request",
+                       "max_new_tokens must be 1.." +
+                           std::to_string(cfg_.max_new_tokens_cap)));
     return;
   }
   req.deadline_steps = static_cast<std::size_t>(

@@ -215,6 +215,39 @@ void QuantizedRows::copy_rows_from(const QuantizedRows& src,
   std::memcpy(params_.data(), src.params_.data(), n * sizeof(QuantParams));
 }
 
+std::size_t QuantizedRows::serialized_bytes() const noexcept {
+  return codes_.size() + fp_.size() * sizeof(float) +
+         params_.size() * sizeof(QuantParams);
+}
+
+void QuantizedRows::serialize(std::uint8_t* out) const noexcept {
+  if (!codes_.empty()) {
+    std::memcpy(out, codes_.data(), codes_.size());
+    out += codes_.size();
+  }
+  if (!fp_.empty()) {
+    std::memcpy(out, fp_.data(), fp_.size() * sizeof(float));
+    out += fp_.size() * sizeof(float);
+  }
+  if (!params_.empty()) {
+    std::memcpy(out, params_.data(), params_.size() * sizeof(QuantParams));
+  }
+}
+
+void QuantizedRows::deserialize(const std::uint8_t* in) noexcept {
+  if (!codes_.empty()) {
+    std::memcpy(codes_.data(), in, codes_.size());
+    in += codes_.size();
+  }
+  if (!fp_.empty()) {
+    std::memcpy(fp_.data(), in, fp_.size() * sizeof(float));
+    in += fp_.size() * sizeof(float);
+  }
+  if (!params_.empty()) {
+    std::memcpy(params_.data(), in, params_.size() * sizeof(QuantParams));
+  }
+}
+
 const float* QuantizedRows::fp_row(std::size_t r) const noexcept {
   assert(dtype_ == KvDtype::kFp16 && r < rows_);
   return fp_.data() + r * dim_;

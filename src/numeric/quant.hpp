@@ -88,6 +88,16 @@ class QuantizedRows {
   /// so the copy is bit-identical to the source. Prefix-cache COW path.
   void copy_rows_from(const QuantizedRows& src, std::size_t n) noexcept;
 
+  /// Bytes serialize() writes: the raw payload (codes or fp) plus the
+  /// per-row params. Fixed for a given geometry/dtype.
+  std::size_t serialized_bytes() const noexcept;
+  /// Writes payload + per-row params verbatim (no dequant/requant round
+  /// trip), so deserialize() restores the buffer bit-identically. The
+  /// cold-tier demote/promote path.
+  void serialize(std::uint8_t* out) const noexcept;
+  /// Restores a buffer of identical geometry/dtype from serialize() output.
+  void deserialize(const std::uint8_t* in) noexcept;
+
   /// Direct fp32 access when dtype == kFp16 (hot-path shortcut).
   const float* fp_row(std::size_t r) const noexcept;
 

@@ -33,7 +33,9 @@ Engine::Engine(EngineConfig cfg)
         return cfg;
       }()),
       tf_(cfg_.model, cfg_.seed),
-      dense_alloc_(cfg_.dense_pages, cfg_.pool_pages),
+      dense_alloc_(cfg_.dense_pages, cfg_.pool_pages,
+                   kv::TierConfig{/*hot_pages=*/cfg_.memory.hot_pages,
+                                  /*cold_bytes=*/cfg_.memory.cold_bytes}),
       stream_alloc_(make_stream_pages(cfg_.dense_pages), cfg_.pool_pages),
       policy_(cfg_.policy) {
   // Default partition: deterministic round-robin at streaming_fraction.
@@ -62,7 +64,7 @@ void Engine::rebuild_prefix_cache() {
   pc.kv_heads = cfg_.model.kv_heads;
   pc.kinds = head_kinds_;
   pc.streaming = cfg_.streaming;
-  pc.max_pages = cfg_.prefix_cache_pages;
+  pc.max_pages = cfg_.memory.prefix_cache_pages;
   prefix_cache_ = std::make_unique<kv::PrefixCache>(dense_alloc_,
                                                     stream_alloc_,
                                                     std::move(pc));
@@ -427,6 +429,8 @@ kv::PageAllocator::Occupancy Engine::pool_occupancy() const noexcept {
   sum.in_use = dense.in_use + stream.in_use;
   sum.free = dense.free + stream.free;
   sum.peak_in_use = dense.peak_in_use + stream.peak_in_use;
+  sum.hot_in_use = dense.hot_in_use + stream.hot_in_use;
+  sum.cold_in_use = dense.cold_in_use + stream.cold_in_use;
   return sum;
 }
 

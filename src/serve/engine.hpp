@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "attn/fused_attention.hpp"
+#include "kv/memory_config.hpp"
 #include "kv/page_allocator.hpp"
 #include "kv/prefix_cache.hpp"
 #include "model/model_config.hpp"
@@ -58,9 +59,14 @@ struct EngineConfig {
   /// (kv/prefix_cache.hpp). Off by default — when off, every path is
   /// bit-identical to the pre-cache engine.
   bool enable_prefix_cache = false;
-  /// Page budget of the prefix tree (0 = unbounded); insert-time LRU
-  /// eviction keeps the tree at or under this.
-  std::size_t prefix_cache_pages = 0;
+  /// Consolidated memory knobs (kv/memory_config.hpp). The engine consumes
+  /// memory.prefix_cache_pages (prefix-tree page budget, 0 = unbounded) and
+  /// memory.hot_pages / memory.cold_bytes (the dense pool's two-tier spill
+  /// config; hot_pages = 0 leaves tiering off and every path bit-identical
+  /// to the untiered engine). memory.page_budget belongs to the scheduler
+  /// (SchedulerConfig::memory) — kept in the same struct so argv/bench
+  /// plumbing hands one object to both layers.
+  kv::MemoryConfig memory;
 
   /// Per-step decode routing (serve/attention_policy.hpp). Null = run as
   /// configured (the kSparse route) — bit-identical to the pre-policy
@@ -191,6 +197,21 @@ class Engine {
   const EngineStats& stats() const noexcept { return stats_; }
   kv::PageAllocator& dense_allocator() noexcept { return dense_alloc_; }
   kv::PageAllocator& stream_allocator() noexcept { return stream_alloc_; }
+
+  /// True when the dense pool runs the two-tier (hot RAM + cold spill)
+  /// store (EngineConfig::memory.hot_pages > 0).
+  bool tiered() const noexcept { return dense_alloc_.tiered(); }
+  /// Tier telemetry of the dense pool (all-zero when tiering is off).
+  kv::TierStats tier_stats() const noexcept {
+    return dense_alloc_.tier_stats();
+  }
+  /// Hot-resident pages across both pools — the admission-control view
+  /// under tiering: cold pages occupy spill-file bytes, not RAM, so the
+  /// scheduler charges only the hot tier against its page budget.
+  /// Equals total_pages_in_use() when tiering is off.
+  std::size_t hot_pages_in_use() const noexcept {
+    return dense_alloc_.hot_pages_in_use() + stream_alloc_.hot_pages_in_use();
+  }
 
   /// Device bytes currently held by KV pages (memory-saving accounting).
   double kv_device_bytes() const noexcept;

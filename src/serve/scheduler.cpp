@@ -123,6 +123,26 @@ void Scheduler::register_metrics() {
                                "pools.");
   m_.prefix_pages = &r.gauge("lserve_prefix_cache_pages_held",
                              "KV pages pinned by the radix prefix cache.");
+  m_.pages_hot = &r.gauge(
+      "lserve_kv_pages_hot",
+      "KV pages resident in the hot (RAM) tier across both pools.");
+  m_.pages_cold = &r.gauge(
+      "lserve_kv_pages_cold",
+      "KV pages demoted to the cold spill tier (dense pool).");
+  m_.cold_bytes = &r.gauge("lserve_kv_cold_bytes",
+                           "Bytes occupied in the cold spill store.");
+  m_.tier_demotions =
+      &r.counter("lserve_tier_demotions_total",
+                 "Pages serialized out of the hot pool into the cold tier.");
+  m_.tier_pin_promotions = &r.counter(
+      "lserve_tier_pin_promotions_total",
+      "Cold pages promoted synchronously on a pin miss (prefetch missed).");
+  m_.tier_prefetch_promotions = &r.counter(
+      "lserve_tier_prefetch_promotions_total",
+      "Cold pages promoted by the prefetcher before any pin needed them.");
+  m_.tier_prefetch_requests =
+      &r.counter("lserve_tier_prefetch_requests_total",
+                 "Cold pages enqueued for asynchronous promotion.");
 }
 
 void Scheduler::publish_step_metrics() {
@@ -136,6 +156,26 @@ void Scheduler::publish_step_metrics() {
   m_.pages_capacity->set(static_cast<double>(occ.capacity));
   m_.prefix_pages->set(
       static_cast<double>(engine_.prefix_cache_pages_held()));
+  m_.pages_hot->set(static_cast<double>(occ.hot_in_use));
+  m_.pages_cold->set(static_cast<double>(occ.cold_in_use));
+  const kv::TierStats tier = engine_.tier_stats();
+  m_.cold_bytes->set(static_cast<double>(tier.cold_bytes_in_use));
+  if (tier.demotions > seen_tier_.demotions) {
+    m_.tier_demotions->inc(tier.demotions - seen_tier_.demotions);
+  }
+  if (tier.pin_promotions > seen_tier_.pin_promotions) {
+    m_.tier_pin_promotions->inc(tier.pin_promotions -
+                                seen_tier_.pin_promotions);
+  }
+  if (tier.prefetch_promotions > seen_tier_.prefetch_promotions) {
+    m_.tier_prefetch_promotions->inc(tier.prefetch_promotions -
+                                     seen_tier_.prefetch_promotions);
+  }
+  if (tier.prefetch_requests > seen_tier_.prefetch_requests) {
+    m_.tier_prefetch_requests->inc(tier.prefetch_requests -
+                                   seen_tier_.prefetch_requests);
+  }
+  seen_tier_ = tier;
   // Route decisions happen inside Engine::decode_batch; mirror the delta
   // of its cumulative totals into per-route counters once per step.
   const EngineStats& es = engine_.stats();
@@ -153,7 +193,7 @@ Scheduler::Scheduler(Engine& engine, std::size_t max_batch,
                      std::size_t decode_threads)
     : Scheduler(engine,
                 SchedulerConfig{max_batch, decode_threads,
-                                /*page_budget=*/0,
+                                /*memory=*/{},
                                 /*default_deadline_steps=*/0,
                                 /*policy=*/nullptr,
                                 /*metrics=*/nullptr,
@@ -424,7 +464,7 @@ void Scheduler::admit() {
     // unconditionally (the budget is soft; the pool grows on demand), so
     // an over-budget request runs solo instead of deadlocking the queue.
     const Pending& front = waiting_.front();
-    if (cfg_.page_budget > 0 && !running_.empty()) {
+    if (cfg_.memory.page_budget > 0 && !running_.empty()) {
       // A prefix-cache hit's footprint counts only the uncached suffix:
       // the shared pages are already in pool occupancy, so the budget
       // admits more concurrent sequences under the same ceiling.
@@ -446,16 +486,19 @@ void Scheduler::admit() {
         }
       }
       const std::size_t headroom = decoding * engine_.decode_step_page_bound();
-      if (engine_.total_pages_in_use() + headroom + need >
-          cfg_.page_budget) {
+      // Under tiering the budget charges hot-resident pages only: cold
+      // pages occupy spill-file bytes, not pool RAM, so demoted history
+      // does not block fresh admissions. Untiered, hot == total.
+      if (engine_.hot_pages_in_use() + headroom + need >
+          cfg_.memory.page_budget) {
         // Before deferring, try to make room out of the prefix cache:
         // evicting unreferenced cache entries is strictly cheaper than
         // stalling admission.
-        const std::size_t deficit = engine_.total_pages_in_use() + headroom +
-                                    need - cfg_.page_budget;
+        const std::size_t deficit = engine_.hot_pages_in_use() + headroom +
+                                    need - cfg_.memory.page_budget;
         engine_.reclaim_prefix_pages(deficit);
-        if (engine_.total_pages_in_use() + headroom + need >
-            cfg_.page_budget) {
+        if (engine_.hot_pages_in_use() + headroom + need >
+            cfg_.memory.page_budget) {
           ++stats_.deferred_admissions;
           if (metrics_ != nullptr) m_.deferrals->inc();
           break;
@@ -579,7 +622,7 @@ void Scheduler::preempt(std::size_t slot) {
 }
 
 void Scheduler::preempt_for_memory() {
-  if (cfg_.page_budget == 0) return;
+  if (cfg_.memory.page_budget == 0) return;
   const std::size_t bound = engine_.decode_step_page_bound();
   while (running_.size() > 1) {
     std::size_t decoding = 0;
@@ -594,17 +637,18 @@ void Scheduler::preempt_for_memory() {
     // head this step; preempt until that fits under the budget (or only
     // one sequence is left — the oldest is never preempted, which
     // guarantees forward progress and a completing drain()).
-    if (engine_.total_pages_in_use() + decoding * bound <=
-        cfg_.page_budget) {
+    if (engine_.hot_pages_in_use() + decoding * bound <=
+        cfg_.memory.page_budget) {
       return;
     }
     // Prefix-cache entries nobody references are the cheapest memory to
     // reclaim — evict them before sacrificing a running sequence's work.
     const std::size_t excess =
-        engine_.total_pages_in_use() + decoding * bound - cfg_.page_budget;
+        engine_.hot_pages_in_use() + decoding * bound -
+        cfg_.memory.page_budget;
     if (engine_.reclaim_prefix_pages(excess) > 0 &&
-        engine_.total_pages_in_use() + decoding * bound <=
-            cfg_.page_budget) {
+        engine_.hot_pages_in_use() + decoding * bound <=
+            cfg_.memory.page_budget) {
       return;
     }
     std::size_t victim = 0;

@@ -134,9 +134,14 @@ struct SchedulerConfig {
   /// assignment) is the exception: it depends on allocation interleaving
   /// within a batch.
   std::size_t decode_threads = 1;
-  /// Combined (dense + streaming) page budget for admission control and
-  /// preemption; 0 = unbounded. Soft — see the header comment.
-  std::size_t page_budget = 0;
+  /// Consolidated memory knobs (kv/memory_config.hpp). The scheduler
+  /// consumes memory.page_budget: the combined (dense + streaming) page
+  /// budget for admission control and preemption; 0 = unbounded. Soft —
+  /// see the header comment. When the engine runs tiered
+  /// (EngineConfig::memory.hot_pages > 0) the budget charges only
+  /// hot-resident pages — cold pages live in the spill file, not RAM —
+  /// so the same budget admits more concurrent long-context sequences.
+  kv::MemoryConfig memory;
   /// Default Request::deadline_steps for requests that don't override it
   /// (0 = no default deadline).
   std::size_t default_deadline_steps = 0;
@@ -380,10 +385,20 @@ class Scheduler {
     obs::Gauge* pages_free = nullptr;
     obs::Gauge* pages_capacity = nullptr;
     obs::Gauge* prefix_pages = nullptr;
+    /// Two-tier KV store (all flat when the engine is untiered).
+    obs::Gauge* pages_hot = nullptr;
+    obs::Gauge* pages_cold = nullptr;
+    obs::Gauge* cold_bytes = nullptr;
+    obs::Counter* tier_demotions = nullptr;
+    obs::Counter* tier_pin_promotions = nullptr;
+    obs::Counter* tier_prefetch_promotions = nullptr;
+    obs::Counter* tier_prefetch_requests = nullptr;
   } m_;
   /// Last-seen engine route totals, for per-step delta mirroring.
   std::size_t seen_dense_steps_ = 0;
   std::size_t seen_sparse_steps_ = 0;
+  /// Last-seen tier totals (same delta-mirroring scheme).
+  kv::TierStats seen_tier_;
 #if LSERVE_AUDIT_ENABLED
   /// Engine pool occupancy at construction; drain() aborts with the
   /// auditor's who-leaked-what report if it does not return to this.

@@ -62,8 +62,10 @@ void hierarchical_page_scores(const kv::PageAllocator& alloc,
                               float* scores) {
   const kv::PageTableView view = head.view(alloc);
   for (std::size_t b = 0; b < view.num_blocks(); ++b) {
-    scores[b] = hierarchical_score(alloc.get(view.pages[b]), q);
+    scores[b] = hierarchical_score(alloc.pin(view.pages[b]).page(), q);
   }
+  alloc.note_scores(view.pages,
+                    std::span<const float>(scores, view.num_blocks()));
 }
 
 std::size_t hierarchical_selector_scored_pages(

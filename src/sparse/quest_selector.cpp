@@ -29,8 +29,11 @@ kv::SelectedPageTable select_top_pages(const kv::PageAllocator& alloc,
 
   std::vector<float> scores(blocks);
   for (std::size_t b = 0; b < blocks; ++b) {
-    scores[b] = score_page(alloc.get(view.pages[b]));
+    scores[b] = score_page(alloc.pin(view.pages[b]).page());
   }
+  // Feed the tier layer: pages scoring low here are the first cold-spill
+  // candidates.
+  alloc.note_scores(view.pages, scores);
   // Forced pages (sinks and the most recent blocks) are modelled by giving
   // them +inf-like priority rather than extra budget, so the token budget
   // is respected exactly.

@@ -23,9 +23,9 @@ TEST(PageAllocator, AllocateFreeCycle) {
   const PageId b = alloc.allocate();
   EXPECT_NE(a, b);
   EXPECT_EQ(alloc.pages_in_use(), 2u);
-  alloc.free(a);
+  alloc.release(a);
   EXPECT_EQ(alloc.pages_in_use(), 1u);
-  alloc.free(b);
+  alloc.release(b);
   EXPECT_EQ(alloc.pages_in_use(), 0u);
 }
 
@@ -37,8 +37,8 @@ TEST(PageAllocator, OccupancyQueriesTrackAllocateAndFree) {
   const PageId b = alloc.allocate();
   EXPECT_EQ(alloc.free_pages(), cap - 2);
   EXPECT_EQ(alloc.free_pages() + alloc.pages_in_use(), alloc.capacity());
-  alloc.free(a);
-  alloc.free(b);
+  alloc.release(a);
+  alloc.release(b);
   EXPECT_EQ(alloc.free_pages(), cap);
 }
 
@@ -57,7 +57,7 @@ TEST(PageAllocator, GrowsBeyondInitialCapacity) {
   for (int i = 0; i < 10; ++i) ids.push_back(alloc.allocate());
   EXPECT_EQ(alloc.pages_in_use(), 10u);
   EXPECT_GE(alloc.capacity(), 10u);
-  for (PageId id : ids) alloc.free(id);
+  for (PageId id : ids) alloc.release(id);
   EXPECT_EQ(alloc.pages_in_use(), 0u);
 }
 
@@ -66,19 +66,19 @@ TEST(PageAllocator, RecycledPagesAreEmpty) {
   const PageId a = alloc.allocate();
   const float k[4] = {1, 2, 3, 4};
   const float v[4] = {5, 6, 7, 8};
-  alloc.get(a).append(k, v);
-  EXPECT_EQ(alloc.get(a).size(), 1u);
-  alloc.free(a);
+  alloc.pin_mut(a).page().append(k, v);
+  EXPECT_EQ(alloc.pin(a).page().size(), 1u);
+  alloc.release(a);
   const PageId b = alloc.allocate();  // LIFO: same slot comes back
   EXPECT_EQ(b, a);
-  EXPECT_TRUE(alloc.get(b).empty());
+  EXPECT_TRUE(alloc.pin(b).page().empty());
 }
 
 TEST(PageAllocator, PeakTracking) {
   PageAllocator alloc(cfg(), 8);
   std::vector<PageId> ids;
   for (int i = 0; i < 5; ++i) ids.push_back(alloc.allocate());
-  for (PageId id : ids) alloc.free(id);
+  for (PageId id : ids) alloc.release(id);
   alloc.allocate();
   EXPECT_EQ(alloc.peak_pages_in_use(), 5u);
 }
@@ -91,17 +91,17 @@ TEST(PageAllocator, DeviceBytesTrackLivePagesOnly) {
   EXPECT_GT(one, 0.0);
   const PageId b = alloc.allocate();
   EXPECT_DOUBLE_EQ(alloc.device_bytes_in_use(), 2 * one);
-  alloc.free(a);
+  alloc.release(a);
   EXPECT_DOUBLE_EQ(alloc.device_bytes_in_use(), one);
-  alloc.free(b);
+  alloc.release(b);
 }
 
 TEST(PageAllocator, PagesInheritPoolConfig) {
   PageAllocator alloc(cfg(), 1);
   const PageId a = alloc.allocate();
-  EXPECT_EQ(alloc.get(a).config().page_size, 8u);
-  EXPECT_EQ(alloc.get(a).config().head_dim, 4u);
-  alloc.free(a);
+  EXPECT_EQ(alloc.pin(a).page().config().page_size, 8u);
+  EXPECT_EQ(alloc.pin(a).page().config().head_dim, 4u);
+  alloc.release(a);
 }
 
 }  // namespace

@@ -42,8 +42,8 @@ TEST(PageAuditor, UnscopedAllocFreeIsClean) {
   PageAllocator alloc(page_cfg(), 16);
   const PageId a = alloc.allocate();
   const PageId b = alloc.allocate();
-  alloc.free(b);
-  alloc.free(a);
+  alloc.release(b);
+  alloc.release(a);
   EXPECT_EQ(alloc.pages_in_use(), 0u);
   EXPECT_EQ(alloc.audit_report(), "");
 }
@@ -73,13 +73,13 @@ TEST(PageAuditorDeathTest, DoubleFreeAborts) {
   {
     const PageAuditScope scope(3, "DoubleFreeTest");
     id = alloc.allocate();
-    alloc.free(id);
+    alloc.release(id);
   }
   // The allocator's own LIFO free list would hand `id` right back out, so
   // the second free goes straight to the auditor's records: still dead,
   // with full three-way attribution.
   const PageAuditScope scope(3, "DoubleFreeTest");
-  EXPECT_DEATH(alloc.free(id), "double free");
+  EXPECT_DEATH(alloc.release(id), "double free");
 }
 
 TEST(PageAuditorDeathTest, ForeignFreeAborts) {
@@ -90,12 +90,44 @@ TEST(PageAuditorDeathTest, ForeignFreeAborts) {
     id = alloc.allocate();
   }
   const PageAuditScope scope(2, "ForeignFreeTest::free");
-  EXPECT_DEATH(alloc.free(id), "foreign free \\(owner mismatch\\)");
+  EXPECT_DEATH(alloc.release(id), "foreign free \\(owner mismatch\\)");
 }
 
 TEST(PageAuditorDeathTest, NeverAllocatedFreeAborts) {
   PageAllocator alloc(page_cfg(), 16);
-  EXPECT_DEATH(alloc.free(PageId{12345}), "never-allocated");
+  EXPECT_DEATH(alloc.release(PageId{12345}), "never-allocated");
+}
+
+TEST(PageAuditorDeathTest, FreeWhilePinnedAborts) {
+  PageAllocator alloc(page_cfg(), 16);
+  const PageId id = alloc.allocate();
+  const PagePin pin = alloc.pin(id);
+  EXPECT_DEATH(alloc.release(id), "freed while pinned");
+  // EXPECT_DEATH forks, so this process still holds the pin and the page.
+}
+
+TEST(PageAuditorDeathTest, PinOfDeadPageAborts) {
+  PageAllocator alloc(page_cfg(), 16);
+  const PageId id = alloc.allocate();
+  alloc.release(id);
+  EXPECT_DEATH({ const PagePin pin = alloc.pin(id); }, "pin of dead page");
+}
+
+TEST(PageAuditor, PinTrackingCountsAndAttributes) {
+  PageAllocator alloc(page_cfg(), 16);
+  const PageId id = alloc.allocate();
+  EXPECT_EQ(alloc.audit_pinned_pages(), 0u);
+  {
+    const PageAuditScope scope(3, "PinTest::reader");
+    const PagePin a = alloc.pin(id);
+    const PagePin b = alloc.pin(id);  // two pins, one page.
+    EXPECT_EQ(alloc.audit_pinned_pages(), 1u);
+    const std::string report = alloc.audit_report();
+    EXPECT_NE(report.find("2 pin(s)"), std::string::npos) << report;
+    EXPECT_NE(report.find("PinTest::reader"), std::string::npos) << report;
+  }
+  EXPECT_EQ(alloc.audit_pinned_pages(), 0u);  // RAII unpinned both.
+  alloc.release(id);
 }
 
 TEST(PageAuditor, LeakReportAttributesOwnerAndSite) {
@@ -114,7 +146,7 @@ TEST(PageAuditor, LeakReportAttributesOwnerAndSite) {
   // Freeing the page clears the report.
   {
     const PageAuditScope scope(42, "LeakTest::cleanup");
-    alloc.free(leaked);
+    alloc.release(leaked);
   }
   EXPECT_EQ(alloc.audit_report(), "");
 }
@@ -130,7 +162,7 @@ TEST(PageAuditor, FreeOnAnotherThreadWithSameOwnerIsLegal) {
   }
   std::thread other([&] {
     const PageAuditScope scope(5, "CrossThread::free");
-    alloc.free(id);
+    alloc.release(id);
   });
   other.join();
   EXPECT_EQ(alloc.audit_report(), "");

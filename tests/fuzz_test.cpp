@@ -30,14 +30,14 @@ TEST(AllocatorFuzz, RandomAllocFreeConservesCounts) {
       live.push_back(alloc.allocate());
     } else {
       const std::size_t idx = rng.next_below(live.size());
-      alloc.free(live[idx]);
+      alloc.release(live[idx]);
       live[idx] = live.back();
       live.pop_back();
     }
     ASSERT_EQ(alloc.pages_in_use(), live.size());
     ASSERT_GE(alloc.capacity(), live.size());
   }
-  for (kv::PageId id : live) alloc.free(id);
+  for (kv::PageId id : live) alloc.release(id);
   EXPECT_EQ(alloc.pages_in_use(), 0u);
   EXPECT_GE(alloc.peak_pages_in_use(), 1u);
 }
@@ -178,12 +178,12 @@ TEST(PolicyFuzz, GatedFlipsUnderPressureNeverLeakPages) {
     serve::EngineConfig ec = serve::policy_test::gated_cfg();
     const bool cache = (trial % 2) == 1;
     ec.enable_prefix_cache = cache;
-    if (cache) ec.prefix_cache_pages = 64;
+    if (cache) ec.memory.prefix_cache_pages = 64;
     serve::Engine engine(ec);
     serve::SchedulerConfig sc;
     sc.max_batch = 3;
     sc.decode_threads = 1 + rng.next_below(4);
-    sc.page_budget = 40 + rng.next_below(24);
+    sc.memory.page_budget = 40 + rng.next_below(24);
     sc.policy = gate;
     serve::Scheduler sched(engine, sc);
     sched.submit(serve::policy_test::make_request(cross - 1,

@@ -315,17 +315,27 @@ TEST(HttpServer, HealthzRespondsAndUnknownTargets404) {
   EXPECT_NE(health.find("200 OK"), std::string::npos);
   EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
 
+  // Every non-2xx JSON body follows the structured error schema:
+  // {"error":{"code":"...","message":"..."}}.
   const std::string missing =
       talk(port, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n", "}");
   EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("{\"error\":{\"code\":\"not_found\""),
+            std::string::npos);
+  EXPECT_NE(missing.find("\"message\":"), std::string::npos);
 
   const std::string bad = talk(port, post_generate("{}"), "}");
   EXPECT_NE(bad.find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(bad.find("{\"error\":{\"code\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(bad.find("\"message\":"), std::string::npos);
 
   // A hostile prompt_len must be rejected without ever allocating.
   const std::string huge = talk(
       port, post_generate("{\"prompt_len\":9000000000000000000}"), "}");
   EXPECT_NE(huge.find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(huge.find("{\"error\":{\"code\":\"bad_request\""),
+            std::string::npos);
 
   // Without a wired registry/tracer the observability endpoints 404 and
   // /healthz omits the occupancy fields rather than inventing zeros.
@@ -465,7 +475,9 @@ TEST(HttpServer, BackpressureRejectsWith503) {
   const std::string rejected = talk(
       port, post_generate("{\"prompt_len\":8,\"max_new_tokens\":4}"), "}");
   EXPECT_NE(rejected.find("503 Service Unavailable"), std::string::npos);
-  EXPECT_NE(rejected.find("overloaded"), std::string::npos);
+  EXPECT_NE(rejected.find("{\"error\":{\"code\":\"overloaded\""),
+            std::string::npos);
+  EXPECT_NE(rejected.find("\"message\":"), std::string::npos);
 
   ::close(fd);  // disconnect-cancel the long stream.
   server.stop();

@@ -415,7 +415,7 @@ TEST(SchedulerObs, PreemptionDoesNotDoubleCountTtft) {
   MetricsRegistry reg;
   serve::SchedulerConfig sc;
   sc.max_batch = 2;
-  sc.page_budget = 24;  // tight: forces preemption with two sequences.
+  sc.memory.page_budget = 24;  // tight: forces preemption with two sequences.
   sc.metrics = &reg;
   sc.clock = clk;
   serve::Scheduler sched(engine, sc);
@@ -445,7 +445,7 @@ std::vector<serve::RequestResult> drain_with(bool with_obs,
   serve::SchedulerConfig sc;
   sc.max_batch = 4;
   sc.decode_threads = threads;
-  sc.page_budget = 48;  // exercise deferral + preemption under telemetry.
+  sc.memory.page_budget = 48;  // exercise deferral + preemption under telemetry.
   if (with_obs) {
     sc.metrics = &reg;
     sc.tracer = &tracer;
@@ -496,7 +496,7 @@ serve::EngineConfig prefix_cfg() {
   cfg.selector.token_budget = 48;
   cfg.pool_pages = 1024;
   cfg.enable_prefix_cache = true;
-  cfg.prefix_cache_pages = 24;  // tight tree budget: forces evictions.
+  cfg.memory.prefix_cache_pages = 24;  // tight tree budget: forces evictions.
   return cfg;
 }
 
@@ -505,7 +505,7 @@ TEST(SchedulerObs, PrefixCountersMirrorAcrossAllLayers) {
   MetricsRegistry reg;
   serve::SchedulerConfig sc;
   sc.max_batch = 2;
-  sc.page_budget = 40;  // forces preemption alongside the cache traffic.
+  sc.memory.page_budget = 40;  // forces preemption alongside the cache traffic.
   sc.metrics = &reg;
   sc.clock = std::make_shared<FakeClock>();
   serve::Scheduler sched(engine, sc);

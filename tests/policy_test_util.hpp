@@ -99,12 +99,12 @@ inline DrainOutcome run_drain(std::shared_ptr<const AttentionPolicy> policy,
                               bool prefix_cache = false) {
   EngineConfig ec = gated_cfg();
   ec.enable_prefix_cache = prefix_cache;
-  if (prefix_cache) ec.prefix_cache_pages = 256;
+  if (prefix_cache) ec.memory.prefix_cache_pages = 256;
   Engine engine(ec);
   SchedulerConfig sc;
   sc.max_batch = 4;
   sc.decode_threads = decode_threads;
-  sc.page_budget = page_budget;
+  sc.memory.page_budget = page_budget;
   sc.policy = std::move(policy);
   Scheduler sched(engine, sc);
   for (const auto& [prompt_len, new_tokens] : load) {

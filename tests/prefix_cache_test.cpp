@@ -146,7 +146,7 @@ TEST(PrefixCacheCow, MidPageDivergenceCopiesAndStaysExact) {
 TEST(PrefixCacheEviction, BudgetHoldsAndSurvivorsStayExact) {
   const int mode = 2;
   EngineConfig cfg = cache_config(true);
-  cfg.prefix_cache_pages = 24;
+  cfg.memory.prefix_cache_pages = 24;
   Engine eng(cfg);
   eng.set_head_kinds(partition(eng, mode));
 
@@ -230,7 +230,7 @@ TEST(PrefixCacheScheduler, RefcountsSurvivePreemptionCancelAndReclaim) {
   eng.set_head_kinds(partition(eng, 2));
   SchedulerConfig sc;
   sc.max_batch = 2;
-  sc.page_budget = 28;
+  sc.memory.page_budget = 28;
   Scheduler sched(eng, sc);
 
   const std::vector<std::int32_t> sys = prompt_ids(16);

@@ -314,7 +314,7 @@ TEST(Scheduler, PreemptionRequeuesAndMatchesUnpreemptedRun) {
   Engine engine(cfg());
   SchedulerConfig sc;
   sc.max_batch = 2;
-  sc.page_budget = 28;
+  sc.memory.page_budget = 28;
   Scheduler sched(engine, sc);
   const auto id_a = sched.submit(req_a);
   const auto id_b = sched.submit(req_b);
@@ -346,7 +346,7 @@ TEST(Scheduler, AdmissionDeferredUntilMemoryFrees) {
   Engine engine(cfg());
   SchedulerConfig sc;
   sc.max_batch = 2;
-  sc.page_budget = 20;
+  sc.memory.page_budget = 20;
   Scheduler sched(engine, sc);
   const auto id_a = sched.submit(make_request(16, 12));  // 16-page estimate
   sched.step();
@@ -406,7 +406,7 @@ DrainOutcome drain_pressured_at(std::size_t decode_threads) {
   SchedulerConfig sc;
   sc.max_batch = 4;
   sc.decode_threads = decode_threads;
-  sc.page_budget = 30;
+  sc.memory.page_budget = 30;
   Scheduler sched(engine, sc);
   const std::size_t prompts[] = {12, 40, 8, 24, 16, 33};
   const std::size_t budgets[] = {6, 3, 9, 5, 2, 7};
@@ -512,7 +512,7 @@ TEST(Scheduler, OnTokenNeverRedeliversAcrossPreemption) {
   Engine engine(cfg());
   SchedulerConfig sc;
   sc.max_batch = 2;
-  sc.page_budget = 28;
+  sc.memory.page_budget = 28;
   Scheduler sched(engine, sc);
   sched.submit(req_a);
   const auto id_b = sched.submit(req_b);
@@ -674,7 +674,7 @@ DrainOutcome drain_mixed_at(std::size_t decode_threads) {
   SchedulerConfig sc;
   sc.max_batch = 4;
   sc.decode_threads = decode_threads;
-  sc.page_budget = 30;
+  sc.memory.page_budget = 30;
   Scheduler sched(engine, sc);
   const std::size_t prompts[] = {12, 40, 8, 24, 16, 33};
   const std::size_t budgets[] = {6, 30, 9, 5, 40, 7};

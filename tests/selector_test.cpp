@@ -210,7 +210,9 @@ TEST(Selectors, HierarchicalScoresMaxReduceLogicalPages) {
   std::vector<float> scores(2);
   hierarchical_page_scores(fix.alloc, fix.head, q.data(), scores.data());
   // Token 70 lives in physical page 1, logical page (70-64)/16 = 0.
-  const kv::Page& page = fix.alloc.get(fix.head.view(fix.alloc).pages[1]);
+  const kv::PagePin pin =
+      fix.alloc.pin(fix.head.view(fix.alloc).pages[1]);
+  const kv::Page& page = pin.page();
   float expected = -1e30f;
   for (std::size_t j = 0; j < page.kstats().logical_pages(); ++j) {
     expected = std::max(expected,

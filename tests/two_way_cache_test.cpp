@@ -90,7 +90,8 @@ TEST(StreamingHeadCache, LocalWindowContentsAreRetained) {
     head.append(alloc, cfg, k.data(), v.data());
   }
   const SelectedPageTable table = head.index_table();
-  const Page& last_page = alloc.get(table.back().page);
+  const PagePin last_pin = alloc.pin(table.back().page);
+  const Page& last_page = last_pin.page();
   std::vector<float> out(8);
   last_page.load_value(last_page.size() - 1, out.data());
   EXPECT_FLOAT_EQ(out[0], 63.0f);
